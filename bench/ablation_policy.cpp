@@ -1,0 +1,87 @@
+// Ablation study (beyond the paper's figures): which pieces of the design
+// carry the Fig. 10 gain?
+//
+// Variants on the 50-job realistic workload:
+//  - full        : the paper's design as implemented
+//  - no-boost    : shrink without max-priority boost of the triggering job
+//                  (Algorithm 1 line 18 removed)
+//  - no-backfill : FCFS scheduling without EASY backfill
+//  - cr-resize   : reconfigurations pay the Checkpoint/Restart cost
+//                  instead of the DMR redistribution (Fig. 1's point at
+//                  workload scale)
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmr;
+  using util::TableWriter;
+
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") scale = 0.1;
+  }
+
+  bench::print_header("Ablation",
+                      "Design-choice ablations on the 50-job workload");
+
+  auto base = [&] {
+    bench::RealisticWorkloadOptions options;
+    options.jobs = 50;
+    options.mean_arrival = 30.0;
+    options.iteration_scale = scale;
+    options.flexible = true;
+    return options;
+  };
+
+  TableWriter table({"Variant", "Makespan (s)", "Avg wait (s)",
+                     "Utilization", "Shrinks", "Expands"});
+  auto row = [&](const std::string& name,
+                 const bench::RealisticWorkloadOptions& options) {
+    const auto metrics = bench::run_realistic_workload(options);
+    table.add_row({name, TableWriter::cell(metrics.makespan, 0),
+                   TableWriter::cell(metrics.wait.mean, 0),
+                   TableWriter::percent(metrics.utilization, 1),
+                   TableWriter::cell(metrics.shrinks),
+                   TableWriter::cell(metrics.expands)});
+  };
+
+  {
+    auto options = base();
+    options.flexible = false;
+    row("fixed (reference)", options);
+  }
+  row("full", base());
+  {
+    auto options = base();
+    options.shrink_priority_boost = false;
+    row("no-boost", options);
+  }
+  {
+    auto options = base();
+    options.backfill = false;
+    row("no-backfill", options);
+  }
+  {
+    auto options = base();
+    options.cost.use_checkpoint_restart = true;
+    row("cr-resize", options);
+  }
+  {
+    auto options = base();
+    options.moldable = true;
+    row("moldable (future work)", options);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(observed: backfill carries part of the gain; C/R-priced "
+              "resizes keep most of the scheduling benefit but pay more per "
+              "reconfiguration; the shrink boost is not load-bearing in "
+              "this workload because its shrinks come from the *preferred* "
+              "branch of Algorithm 1, which boosts nobody — the boost "
+              "matters for wide-optimization shrinks, exercised by the FS "
+              "workloads)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 9 — checking-period inhibitor with micro-step applications.
+//
+// FS steps shortened to ~2 s: without the inhibitor every iteration
+// negotiates with the RMS and the overhead erases the malleability gain
+// (negative for small workloads).  Periods of 2/5/10/20 s restore it;
+// the paper finds ~5 s the sweet spot, beating even the plain flexible
+// run.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Micro-step runs pay a per-check negotiation overhead that the
+// coarse-grained experiments ignore; model it as a fixed RMS round-trip
+// charged on every non-inhibited check by inflating each step.
+dmr::drv::WorkloadMetrics run_micro(int jobs, bool flexible,
+                                    double sched_period) {
+  dmr::bench::FsWorkloadOptions options;
+  options.jobs = jobs;
+  options.steps = 30;             // ~2 s micro-steps (60 s / 30)
+  options.max_step_runtime = 2.0;
+  options.flexible = flexible;
+  options.sched_period = sched_period;
+  options.data_bytes = std::size_t(64) << 20;
+  // Micro-steps hammer the RMS: per-negotiation cost is what the
+  // inhibitor is designed to curb (Section VIII-E's communication burst).
+  options.check_overhead = 0.3;
+  return dmr::bench::run_fs_workload(options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmr;
+  using util::TableWriter;
+
+  bench::print_header("Fig. 9",
+                      "Inhibitor periods with ~2 s micro-step workloads");
+
+  TableWriter table({"Configuration", "10 jobs", "25 jobs", "50 jobs",
+                     "100 jobs"});
+  const int sizes[] = {10, 25, 50, 100};
+
+  double fixed_makespan[4];
+  {
+    std::vector<std::string> row{"Fixed"};
+    for (int i = 0; i < 4; ++i) {
+      fixed_makespan[i] = run_micro(sizes[i], false, -1.0).makespan;
+      row.push_back(TableWriter::cell(fixed_makespan[i], 0) + " s");
+    }
+    table.add_row(row);
+  }
+
+  auto flexible_row = [&](const std::string& label, double period) {
+    std::vector<std::string> row{label};
+    for (int i = 0; i < 4; ++i) {
+      const auto metrics = run_micro(sizes[i], true, period);
+      const double gain =
+          drv::gain_percent(fixed_makespan[i], metrics.makespan);
+      row.push_back(TableWriter::cell(metrics.makespan, 0) + " s (" +
+                    TableWriter::cell(gain, 2) + "%)");
+    }
+    table.add_row(row);
+  };
+
+  flexible_row("Flexible (no inhibitor)", 0.0);
+  flexible_row("Sched 2 s", 2.0);
+  flexible_row("Sched 5 s", 5.0);
+  flexible_row("Sched 10 s", 10.0);
+  flexible_row("Sched 20 s", 20.0);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(paper: the no-inhibitor gain is negligible or negative; a "
+              "5 s period both beats the fixed workload and outperforms the "
+              "plain flexible one)\n");
+  return 0;
+}

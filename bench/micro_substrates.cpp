@@ -1,0 +1,165 @@
+// Substrate microbenchmarks (google-benchmark): the primitive costs
+// underneath the figure reproductions — mailbox matching, event-queue
+// throughput, redistribution planning, policy decisions, scheduler
+// passes and workload generation.
+#include <benchmark/benchmark.h>
+
+#include "rms/manager.hpp"
+#include "rt/redistribute.hpp"
+#include "sim/engine.hpp"
+#include "smpi/mailbox.hpp"
+#include "util/rng.hpp"
+#include "wl/feitelson.hpp"
+
+namespace {
+
+using namespace dmr;
+
+void BM_MailboxDepositReceive(benchmark::State& state) {
+  smpi::Mailbox mailbox;
+  const std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    smpi::Envelope envelope;
+    envelope.source = 0;
+    envelope.tag = 1;
+    envelope.data = payload;
+    mailbox.deposit(std::move(envelope));
+    benchmark::DoNotOptimize(mailbox.receive(0, 1));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MailboxDepositReceive)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_MailboxPostedReceive(benchmark::State& state) {
+  smpi::Mailbox mailbox;
+  for (auto _ : state) {
+    auto request = mailbox.post_receive(0, 7);
+    smpi::Envelope envelope;
+    envelope.source = 0;
+    envelope.tag = 7;
+    envelope.data.resize(64);
+    mailbox.deposit(std::move(envelope));
+    benchmark::DoNotOptimize(request.wait());
+  }
+}
+BENCHMARK(BM_MailboxPostedReceive);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_RedistributionPlan(benchmark::State& state) {
+  const auto old_parts = static_cast<int>(state.range(0));
+  const auto new_parts = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rt::plan_redistribution(1 << 20, old_parts, new_parts));
+  }
+}
+BENCHMARK(BM_RedistributionPlan)
+    ->Args({2, 4})
+    ->Args({48, 24})
+    ->Args({64, 63})
+    ->Args({512, 256});
+
+void BM_PolicyDecision(benchmark::State& state) {
+  rms::Job job;
+  job.id = 1;
+  job.state = rms::JobState::Running;
+  job.nodes.assign(16, 0);
+  job.requested_nodes = 16;
+  std::vector<rms::Job> pending(static_cast<std::size_t>(state.range(0)));
+  std::vector<const rms::Job*> pointers;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pending[i].id = static_cast<rms::JobId>(i + 2);
+    pending[i].requested_nodes = 8 + static_cast<int>(i % 17);
+    pointers.push_back(&pending[i]);
+  }
+  rms::DmrRequest request;
+  request.min_procs = 1;
+  request.max_procs = 32;
+  for (auto _ : state) {
+    rms::PolicyView view;
+    view.job = &job;
+    view.idle_nodes = 4;
+    view.pending = pointers;
+    benchmark::DoNotOptimize(rms::reconfiguration_policy(view, request));
+  }
+}
+BENCHMARK(BM_PolicyDecision)->Arg(0)->Arg(10)->Arg(100);
+
+void BM_SchedulerPass(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<rms::Job> jobs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs[i].id = static_cast<rms::JobId>(i + 1);
+    jobs[i].requested_nodes = 1 + static_cast<int>(i % 32);
+    jobs[i].spec.time_limit = 100.0 + static_cast<double>(i % 7) * 50.0;
+    jobs[i].submit_time = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    rms::ScheduleView view;
+    view.now = 1000.0;
+    view.idle_nodes = 64;
+    for (auto& job : jobs) view.pending.push_back(&job);
+    benchmark::DoNotOptimize(rms::schedule_pass(view, rms::SchedulerConfig{}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_SchedulerPass)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DmrCheckFullStack(benchmark::State& state) {
+  // A full reconfiguring point against a loaded manager (policy +
+  // resizer-job protocol when an action is granted).
+  for (auto _ : state) {
+    state.PauseTiming();
+    rms::Manager manager(rms::RmsConfig{.nodes = 64, .scheduler = {},
+                                        .shrink_priority_boost = true});
+    rms::JobSpec spec;
+    spec.name = "flex";
+    spec.requested_nodes = 8;
+    spec.min_nodes = 1;
+    spec.max_nodes = 64;
+    const rms::JobId job = manager.submit(spec, 0.0);
+    manager.schedule(0.0);
+    rms::DmrRequest request;
+    request.min_procs = 1;
+    request.max_procs = 64;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(manager.dmr_check(job, request, 1.0));
+  }
+}
+BENCHMARK(BM_DmrCheckFullStack);
+
+void BM_FeitelsonGenerate(benchmark::State& state) {
+  wl::FeitelsonParams params;
+  params.jobs = static_cast<int>(state.range(0));
+  params.max_size = 20;
+  for (auto _ : state) {
+    params.seed += 1;
+    benchmark::DoNotOptimize(wl::generate_feitelson(params));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FeitelsonGenerate)->Arg(100)->Arg(1000);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace

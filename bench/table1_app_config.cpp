@@ -1,0 +1,48 @@
+// Table I — configuration parameters for the applications.
+//
+// Prints the same rows the paper reports: iterations, minimum / maximum /
+// preferred process counts and the scheduling (inhibitor) period per
+// application, as encoded by the model presets.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using dmr::apps::AppModel;
+  using dmr::util::TableWriter;
+
+  dmr::bench::print_header("Table I",
+                           "Configuration parameters for the applications");
+
+  TableWriter table({"Application", "Iterations", "Minimum", "Maximum",
+                     "Preferred", "Scheduling period"});
+
+  const AppModel fs = dmr::apps::fs_model(25, 4, 10.0, 20, 1ull << 30);
+  const AppModel cg = dmr::apps::cg_model();
+  const AppModel jacobi = dmr::apps::jacobi_model();
+  const AppModel nbody = dmr::apps::nbody_model();
+
+  auto row = [&](const char* name, const AppModel& m, int iterations) {
+    table.add_row(
+        {name, TableWriter::cell(static_cast<long long>(iterations)),
+         TableWriter::cell(static_cast<long long>(m.request.min_procs)),
+         TableWriter::cell(static_cast<long long>(m.request.max_procs)),
+         m.request.preferred > 0
+             ? TableWriter::cell(static_cast<long long>(m.request.preferred))
+             : "-",
+         m.sched_period > 0
+             ? TableWriter::cell(m.sched_period, 0) + " seconds"
+             : "-"});
+  };
+  row("FS", fs, 25);
+  row("CG", cg, cg.iterations);
+  row("Jacobi", jacobi, jacobi.iterations);
+  row("N-body", nbody, nbody.iterations);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(paper: FS 25 it / 1-20 procs; CG & Jacobi 10000 it / 2-32 "
+              "procs, preferred 8, period 15 s; N-body 25 it / 1-16 procs, "
+              "preferred 1)\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// dmrsim — command-line workload simulator.
+//
+// Runs a synthetic (FS, Feitelson-generated) or realistic (CG / Jacobi /
+// N-body mix) workload through the virtual cluster and prints metrics,
+// optionally with the per-job accounting ledger and timeline CSVs.
+//
+// Usage:
+//   dmrsim [key=value ...]
+//     workload=fs|mix      workload family            (default fs)
+//     jobs=N               number of jobs             (default 50)
+//     nodes=N              cluster size               (default 20 fs / 64 mix)
+//     flexible=0|1         malleable jobs             (default 1)
+//     moldable=0|1         moldable submission        (default 0)
+//     async=0|1            dmr_icheck_status mode     (default 0)
+//     period=SECONDS       inhibitor override         (default per app)
+//     arrival=SECONDS      mean inter-arrival         (default 10 fs / 30 mix)
+//     seed=N               workload seed              (default 2017)
+//     scale=X              iteration-count scale      (default 1.0)
+//     accounting=0|1       print the sacct-style log  (default 0)
+//     csv=PREFIX           dump timeline CSVs to PREFIX_<series>.csv
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "apps/models.hpp"
+#include "drv/workload_driver.hpp"
+#include "rms/accounting.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+#include "wl/feitelson.hpp"
+
+namespace {
+
+using namespace dmr;
+
+struct Options {
+  std::string workload = "fs";
+  int jobs = 50;
+  int nodes = -1;
+  bool flexible = true;
+  bool moldable = false;
+  bool asynchronous = false;
+  double period = -1.0;
+  double arrival = -1.0;
+  std::uint64_t seed = 2017;
+  double scale = 1.0;
+  bool accounting = false;
+  std::string csv_prefix;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const auto kv = util::parse_key_value(argv[i]);
+    if (!kv) {
+      std::fprintf(stderr, "ignoring argument '%s' (want key=value)\n",
+                   argv[i]);
+      continue;
+    }
+    const auto& [key, value] = *kv;
+    if (key == "workload") options.workload = value;
+    else if (key == "jobs") options.jobs = std::stoi(value);
+    else if (key == "nodes") options.nodes = std::stoi(value);
+    else if (key == "flexible") options.flexible = value == "1";
+    else if (key == "moldable") options.moldable = value == "1";
+    else if (key == "async") options.asynchronous = value == "1";
+    else if (key == "period") options.period = std::stod(value);
+    else if (key == "arrival") options.arrival = std::stod(value);
+    else if (key == "seed") options.seed = std::stoull(value);
+    else if (key == "scale") options.scale = std::stod(value);
+    else if (key == "accounting") options.accounting = value == "1";
+    else if (key == "csv") options.csv_prefix = value;
+    else std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
+  }
+  if (options.nodes < 0) options.nodes = options.workload == "mix" ? 64 : 20;
+  if (options.arrival < 0) {
+    options.arrival = options.workload == "mix" ? 30.0 : 10.0;
+  }
+  return options;
+}
+
+void add_fs_jobs(drv::WorkloadDriver& driver, const Options& options) {
+  wl::FeitelsonParams params;
+  params.jobs = options.jobs;
+  params.max_size = options.nodes;
+  params.mean_interarrival = options.arrival;
+  params.max_runtime = 1500.0;
+  params.short_runtime_mean = 60.0;
+  params.long_runtime_mean = 600.0;
+  params.seed = options.seed;
+  for (const auto& job : wl::generate_feitelson(params)) {
+    drv::JobPlan plan;
+    plan.arrival = job.arrival;
+    const int steps = std::max(1, static_cast<int>(25 * options.scale));
+    plan.model = apps::fs_model(steps, job.size, job.runtime / steps,
+                                options.nodes, std::size_t(1) << 30);
+    plan.submit_nodes = job.size;
+    plan.flexible = options.flexible;
+    plan.moldable = options.moldable;
+    driver.add(std::move(plan));
+  }
+}
+
+void add_mix_jobs(drv::WorkloadDriver& driver, const Options& options) {
+  util::Rng rng(options.seed);
+  std::vector<int> classes(static_cast<std::size_t>(options.jobs));
+  for (int i = 0; i < options.jobs; ++i) {
+    classes[static_cast<std::size_t>(i)] = i % 3;
+  }
+  rng.shuffle(classes);
+  double arrival = 0.0;
+  for (int i = 0; i < options.jobs; ++i) {
+    arrival += rng.exponential_mean(options.arrival);
+    drv::JobPlan plan;
+    switch (classes[static_cast<std::size_t>(i)]) {
+      case 0: plan.model = apps::cg_model(); break;
+      case 1: plan.model = apps::jacobi_model(); break;
+      default: plan.model = apps::nbody_model(); break;
+    }
+    plan.model.iterations = std::max(
+        1, static_cast<int>(plan.model.iterations * options.scale));
+    plan.arrival = arrival;
+    plan.submit_nodes = std::min(plan.model.request.max_procs, options.nodes);
+    plan.flexible = options.flexible;
+    plan.moldable = options.moldable;
+    driver.add(std::move(plan));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+
+  sim::Engine engine;
+  drv::DriverConfig config;
+  config.rms.nodes = options.nodes;
+  config.asynchronous = options.asynchronous;
+  config.sched_period_override = options.period;
+  drv::WorkloadDriver driver(engine, config);
+  // Accounting must attach before jobs run.
+  rms::Accounting accounting(driver.manager_mutable());
+
+  if (options.workload == "mix") {
+    add_mix_jobs(driver, options);
+  } else {
+    add_fs_jobs(driver, options);
+  }
+
+  const auto metrics = driver.run();
+  std::printf("workload=%s jobs=%d nodes=%d flexible=%d moldable=%d "
+              "async=%d seed=%llu\n",
+              options.workload.c_str(), options.jobs, options.nodes,
+              options.flexible ? 1 : 0, options.moldable ? 1 : 0,
+              options.asynchronous ? 1 : 0,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("makespan          %12.1f s\n", metrics.makespan);
+  std::printf("utilization       %12.2f %%\n", metrics.utilization * 100.0);
+  std::printf("avg wait          %12.1f s\n", metrics.wait.mean);
+  std::printf("avg execution     %12.1f s\n", metrics.execution.mean);
+  std::printf("avg completion    %12.1f s\n", metrics.completion.mean);
+  std::printf("expands/shrinks   %8lld / %lld (%lld checks, %lld aborted)\n",
+              metrics.expands, metrics.shrinks, metrics.checks,
+              metrics.aborted_expands);
+  std::printf("node-seconds      %12.1f\n", accounting.total_node_seconds());
+
+  if (options.accounting) {
+    std::printf("\n%s", accounting.render().c_str());
+  }
+  if (!options.csv_prefix.empty()) {
+    for (const auto& series : driver.trace().names()) {
+      const std::string path = options.csv_prefix + "_" + series + ".csv";
+      std::ofstream out(path);
+      out << driver.trace().to_csv(series);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

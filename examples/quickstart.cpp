@@ -1,0 +1,152 @@
+// Quickstart: a minimal malleable application under the DMR framework.
+//
+// What happens here, end to end:
+//  1. A virtual 8-node cluster is managed by dmr::rms::Manager (the
+//     "Slurm" of the framework).
+//  2. A 2-process job is submitted and started.
+//  3. The application — an iterative loop over a distributed array —
+//     calls dmr_check_status between iterations (rt::DmrRuntime).
+//  4. The reconfiguration policy notices the empty queue and grants an
+//     expansion to the job maximum; the runtime spawns the new rank set,
+//     redistributes the array, and the old ranks retire.
+//
+// Build & run:  ./quickstart
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "rt/dmr_runtime.hpp"
+#include "rt/malleable_app.hpp"
+#include "rt/redistribute.hpp"
+#include "smpi/universe.hpp"
+
+namespace {
+
+using namespace dmr;
+
+/// The application state: a block-distributed vector of doubles; each
+/// iteration adds one to every element.
+class Counters final : public rt::AppState {
+ public:
+  explicit Counters(std::size_t total) : total_(total) {}
+
+  void init(int rank, int nprocs) override {
+    const rt::BlockDistribution dist(total_, nprocs);
+    local_.assign(dist.count(rank), 0.0);
+    std::printf("[rank %d/%d] initialized %zu elements\n", rank, nprocs,
+                local_.size());
+  }
+
+  void compute_step(const smpi::Comm& world, int step) override {
+    for (double& v : local_) v += 1.0;
+    // A collective, so every rank agrees on the global sum.
+    const double total = world.allreduce_sum(
+        std::accumulate(local_.begin(), local_.end(), 0.0));
+    if (world.rank() == 0) {
+      std::printf("[step %d] %d ranks, global sum = %.0f\n", step,
+                  world.size(), total);
+    }
+  }
+
+  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
+                  int new_size) override {
+    rt::send_blocks<double>(inter, my_old_rank,
+                            std::span<const double>(local_), total_,
+                            old_size, new_size, /*tag=*/1);
+  }
+
+  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
+                  int new_size) override {
+    local_ = rt::recv_blocks<double>(parent, my_new_rank, total_, old_size,
+                                     new_size, /*tag=*/1);
+    std::printf("[rank %d] joined after resize %d -> %d with %zu elements\n",
+                my_new_rank, old_size, new_size, local_.size());
+  }
+
+  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
+    std::vector<double> full;
+    world.gatherv(std::span<const double>(local_), full, 0);
+    std::vector<std::byte> bytes;
+    if (world.rank() == 0) {
+      bytes.resize(full.size() * sizeof(double));
+      std::memcpy(bytes.data(), full.data(), bytes.size());
+    }
+    return bytes;
+  }
+
+  void deserialize_global(const smpi::Comm& world,
+                          std::span<const std::byte> bytes) override {
+    std::vector<std::vector<double>> chunks;
+    if (world.rank() == 0) {
+      const auto* data = reinterpret_cast<const double*>(bytes.data());
+      const rt::BlockDistribution dist(total_, world.size());
+      chunks.resize(static_cast<std::size_t>(world.size()));
+      for (int r = 0; r < world.size(); ++r) {
+        chunks[static_cast<std::size_t>(r)].assign(data + dist.begin(r),
+                                                   data + dist.end(r));
+      }
+    }
+    local_ = world.scatterv(chunks, 0);
+  }
+
+ private:
+  std::size_t total_;
+  std::vector<double> local_;
+};
+
+}  // namespace
+
+int main() {
+  // 1. The resource manager: 8 virtual nodes, backfill + multifactor.
+  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {},
+                                      .shrink_priority_boost = true});
+  double virtual_clock = 0.0;
+  rt::RmsConnection connection(manager, [&] { return virtual_clock; });
+
+  // 2. Submit and start a malleable job: 2 nodes now, up to 8.
+  rms::JobSpec spec;
+  spec.name = "quickstart";
+  spec.requested_nodes = 2;
+  spec.min_nodes = 1;
+  spec.max_nodes = 8;
+  spec.flexible = true;
+  const rms::JobId job = connection.submit(spec);
+  connection.schedule();
+  std::printf("job %lld started on %d nodes (cluster has %d idle)\n",
+              static_cast<long long>(job),
+              connection.job_info(job).allocated(), manager.idle_nodes());
+
+  // 3. The DMR request the application conveys at reconfiguring points.
+  rms::DmrRequest request;
+  request.min_procs = 1;
+  request.max_procs = 8;
+  request.factor = 2;
+  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+
+  // 4. Run the malleable loop: 6 iterations over 64 elements.
+  smpi::Universe universe;
+  rt::MalleableConfig config;
+  config.total_steps = 6;
+  const rt::RunReport report = rt::run_malleable(
+      universe, runtime, config,
+      [] { return std::make_unique<Counters>(64); }, /*initial_size=*/2);
+  universe.await_all();
+
+  for (const auto& failure : universe.failures()) {
+    std::fprintf(stderr, "rank failure: %s\n", failure.c_str());
+  }
+  std::printf("\nfinished on %d ranks after %d steps; %zu resize(s):\n",
+              report.final_size, report.steps_executed,
+              report.resizes.size());
+  for (const auto& resize : report.resizes) {
+    std::printf("  step %d: %s %d -> %d (%.3f ms of non-solving time)\n",
+                resize.step, rms::to_string(resize.action).c_str(),
+                resize.old_size, resize.new_size,
+                resize.spawn_seconds * 1e3);
+  }
+  std::printf("RMS counters: %lld expands, %lld shrinks, %lld checks\n",
+              manager.counters().expands, manager.counters().shrinks,
+              manager.counters().checks);
+  return universe.failures().empty() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace dmr::ckpt {
+
+CheckpointStore::CheckpointStore(CheckpointOptions options)
+    : options_(std::move(options)) {
+  if (options_.directory.empty()) {
+    throw std::invalid_argument("CheckpointStore: empty directory");
+  }
+  std::filesystem::create_directories(options_.directory);
+}
+
+std::filesystem::path CheckpointStore::path_for(const std::string& name) const {
+  return options_.directory / (name + ".ckpt");
+}
+
+void CheckpointStore::write(const std::string& name,
+                            std::span<const std::byte> data) {
+  const auto path = path_for(name);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("CheckpointStore: cannot open " + path.string());
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      throw std::runtime_error("CheckpointStore: write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (options_.fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("CheckpointStore: fsync failed");
+  }
+  ::close(fd);
+  bytes_written_ += data.size();
+  ++writes_;
+}
+
+std::vector<std::byte> CheckpointStore::read(const std::string& name) const {
+  const auto path = path_for(name);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("CheckpointStore: missing checkpoint " +
+                             path.string());
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::vector<std::byte> data(size);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::read(fd, data.data() + done, data.size() - done);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("CheckpointStore: read failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  bytes_read_ += data.size();
+  ++reads_;
+  return data;
+}
+
+bool CheckpointStore::exists(const std::string& name) const {
+  return std::filesystem::exists(path_for(name));
+}
+
+void CheckpointStore::remove(const std::string& name) {
+  std::filesystem::remove(path_for(name));
+}
+
+void CheckpointStore::clear() {
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory)) {
+    if (entry.path().extension() == ".ckpt") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+}
+
+}  // namespace dmr::ckpt

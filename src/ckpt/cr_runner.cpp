@@ -1,0 +1,136 @@
+#include "ckpt/cr_runner.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace dmr::ckpt {
+
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// State shared between the controller and the rank threads across
+/// generations of the C/R job.
+struct Control {
+  std::mutex mu;
+  rt::RunReport report;
+  // Set by the retiring generation:
+  bool finished = false;
+  bool resize_requested = false;
+  int next_size = 0;
+  int continue_step = 0;
+  double resize_begin = 0.0;  // stamped before serialize_global
+};
+
+}  // namespace
+
+rt::RunReport run_checkpoint_restart(smpi::Universe& universe,
+                                     rt::MalleableConfig config,
+                                     rt::StateFactory factory,
+                                     int initial_size,
+                                     CheckpointStore& store) {
+  auto control = std::make_shared<Control>();
+  const std::string ckpt_name = "cr_state";
+  int size = initial_size;
+  int t0 = 0;
+  bool from_checkpoint = false;
+  const double started_at = wall_seconds();
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(control->mu);
+      control->finished = false;
+      control->resize_requested = false;
+    }
+
+    auto entry = [&, control](smpi::Context& ctx) {
+      auto state = factory();
+      if (from_checkpoint) {
+        // Restart path: reload the checkpoint written by the previous
+        // generation; this completes the resize, so stamp its duration.
+        std::vector<std::byte> bytes;
+        if (ctx.rank() == 0) bytes = store.read(ckpt_name);
+        state->deserialize_global(ctx.world(), bytes);
+        ctx.world().barrier();
+        if (ctx.rank() == 0) {
+          std::lock_guard<std::mutex> lock(control->mu);
+          control->report.resizes.back().spawn_seconds =
+              wall_seconds() - control->resize_begin;
+        }
+      } else {
+        state->init(ctx.rank(), ctx.size());
+      }
+
+      for (int t = t0; t < config.total_steps; ++t) {
+        // Scripted decision on rank 0, broadcast for consistency with the
+        // DMR path.
+        std::vector<int> header(2, 0);
+        if (t >= config.first_check_step && config.forced_decision) {
+          if (ctx.rank() == 0) {
+            if (const auto forced = config.forced_decision(t, ctx.size())) {
+              header[0] = static_cast<int>(forced->action);
+              header[1] = forced->new_size;
+            }
+          }
+          ctx.world().bcast(header, 0);
+        }
+        if (header[0] != static_cast<int>(rms::Action::None)) {
+          if (ctx.rank() == 0) {
+            std::lock_guard<std::mutex> lock(control->mu);
+            rt::ResizeRecord record;
+            record.step = t;
+            record.old_size = ctx.size();
+            record.new_size = header[1];
+            record.action = static_cast<rms::Action>(header[0]);
+            control->report.resizes.push_back(record);
+            control->resize_begin = wall_seconds();
+          }
+          // C/R resize: gather, write to stable storage, terminate all.
+          const auto bytes = state->serialize_global(ctx.world());
+          if (ctx.rank() == 0) {
+            store.write(ckpt_name, std::span<const std::byte>(bytes));
+            std::lock_guard<std::mutex> lock(control->mu);
+            control->resize_requested = true;
+            control->next_size = header[1];
+            control->continue_step = t;
+          }
+          ctx.world().barrier();
+          return;
+        }
+        state->compute_step(ctx.world(), t);
+      }
+      ctx.world().barrier();
+      if (ctx.rank() == 0) {
+        std::lock_guard<std::mutex> lock(control->mu);
+        control->finished = true;
+      }
+    };
+
+    auto& set = universe.launch("cr", size, entry);
+    set.join();
+
+    std::lock_guard<std::mutex> lock(control->mu);
+    if (control->finished) {
+      control->report.final_size = size;
+      control->report.steps_executed = config.total_steps;
+      control->report.total_seconds = wall_seconds() - started_at;
+      return control->report;
+    }
+    if (!control->resize_requested) {
+      throw std::runtime_error(
+          "run_checkpoint_restart: generation ended without finishing or "
+          "requesting a resize");
+    }
+    size = control->next_size;
+    t0 = control->continue_step;
+    from_checkpoint = true;
+  }
+}
+
+}  // namespace dmr::ckpt

@@ -1,0 +1,22 @@
+// Checkpoint/Restart malleable runner: the baseline the DMR API replaces.
+//
+// Same iterate/resize contract as rt::run_malleable, but a resize is
+// implemented the C/R way: serialize the global state, write it to disk,
+// terminate every rank, relaunch the job at the new size and reload the
+// state from the file (the "checkpoint-and-reconfigure" mechanism of the
+// related work the paper benchmarks against in Fig. 1).
+#pragma once
+
+#include "ckpt/checkpoint.hpp"
+#include "rt/malleable_app.hpp"
+
+namespace dmr::ckpt {
+
+/// Run with scripted resizes (config.forced_decision drives the schedule,
+/// exactly like the Fig. 1 experiment).  Blocks until completion.
+rt::RunReport run_checkpoint_restart(smpi::Universe& universe,
+                                     rt::MalleableConfig config,
+                                     rt::StateFactory factory,
+                                     int initial_size, CheckpointStore& store);
+
+}  // namespace dmr::ckpt

@@ -1,0 +1,38 @@
+#include "drv/cost_model.hpp"
+
+#include <algorithm>
+
+#include "rt/redistribute.hpp"
+
+namespace dmr::drv {
+
+double CostModel::migrated_fraction(int old_procs, int new_procs) {
+  // Evaluate the redistribution plan on a nominal element count; the
+  // fraction is size-independent for balanced blocks once the count is
+  // much larger than the rank counts.
+  constexpr std::size_t kNominal = 1 << 20;
+  const std::size_t moved =
+      rt::migrated_elements(kNominal, old_procs, new_procs);
+  return static_cast<double>(moved) / static_cast<double>(kNominal);
+}
+
+double CostModel::reconfigure_seconds(std::size_t state_bytes, int old_procs,
+                                      int new_procs) const {
+  const double spawn = spawn_latency + per_proc_spawn * new_procs;
+  if (use_checkpoint_restart) {
+    // Full state to disk and back, plus teardown/requeue and relaunch.
+    const double write = static_cast<double>(state_bytes) /
+                         checkpoint_write_bw;
+    const double read = static_cast<double>(state_bytes) /
+                        checkpoint_read_bw;
+    return cr_requeue_latency + spawn + write + read;
+  }
+  // DMR: only the migrating fraction crosses the network, and transfers
+  // proceed in parallel across the participating nodes.
+  const double moved = static_cast<double>(state_bytes) *
+                       migrated_fraction(old_procs, new_procs);
+  const int lanes = std::max(1, std::min(old_procs, new_procs));
+  return spawn + moved / (network_bandwidth * lanes);
+}
+
+}  // namespace dmr::drv

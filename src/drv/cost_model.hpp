@@ -1,0 +1,43 @@
+// Reconfiguration cost model for the virtual-time experiments.
+//
+// A resize's non-solving time has two parts: process management (spawn /
+// teardown, the Slurm protocol round-trips) and data movement.  The DMR
+// API moves data rank-to-rank over the interconnect; the C/R baseline
+// routes the full state through stable storage (write + read back), which
+// is where Fig. 1's 31-77x spawn-cost gap comes from.
+#pragma once
+
+#include <cstddef>
+
+namespace dmr::drv {
+
+struct CostModel {
+  /// Fixed protocol latency per resize (resizer-job round trip, spawn).
+  double spawn_latency = 0.2;
+  /// Per-new-process launch cost.
+  double per_proc_spawn = 0.005;
+  /// Effective interconnect bandwidth per participating node pair (B/s);
+  /// FDR10-class fabric.
+  double network_bandwidth = 2.0e9;
+  /// Parallel filesystem bandwidths for the C/R baseline (aggregate).
+  double checkpoint_write_bw = 0.25e9;
+  double checkpoint_read_bw = 0.5e9;
+  /// C/R additionally tears the job down and resubmits it through the
+  /// batch queue before reloading (the requeue latency the DMR protocol
+  /// avoids by keeping the job alive during the resize).
+  double cr_requeue_latency = 5.0;
+  /// Route resizes through checkpoint files instead of the runtime
+  /// redistribution (the C/R ablation).
+  bool use_checkpoint_restart = false;
+
+  /// Seconds of non-solving time for resizing `old_procs` -> `new_procs`
+  /// with `state_bytes` of application state.
+  double reconfigure_seconds(std::size_t state_bytes, int old_procs,
+                             int new_procs) const;
+
+  /// Fraction of the state that crosses node boundaries in a DMR resize
+  /// (elements whose owning rank index changes).
+  static double migrated_fraction(int old_procs, int new_procs);
+};
+
+}  // namespace dmr::drv

@@ -1,0 +1,35 @@
+// Workload-level metrics: the measures of Table II and the evolution
+// series of Figs. 4-6 and 12.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rms/manager.hpp"
+#include "util/stats.hpp"
+
+namespace dmr::drv {
+
+struct WorkloadMetrics {
+  double makespan = 0.0;
+  /// Time-weighted average of (allocated nodes / cluster nodes) over the
+  /// workload execution — Table II's "Avg. resource utilization rate".
+  double utilization = 0.0;
+  util::Summary wait;        // "Avg. job waiting time"
+  util::Summary execution;   // "Avg. job execution time"
+  util::Summary completion;  // "Avg. job completion time"
+  int jobs = 0;
+  long long expands = 0;
+  long long shrinks = 0;
+  long long checks = 0;
+  long long aborted_expands = 0;
+};
+
+/// Percentage gain of `flexible` over `fixed` for a smaller-is-better
+/// quantity (the paper's bar labels).
+double gain_percent(double fixed, double flexible);
+
+/// Human-readable one-line summary.
+std::string describe(const WorkloadMetrics& metrics);
+
+}  // namespace dmr::drv

@@ -1,0 +1,192 @@
+#include "drv/workload_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dmr::drv {
+
+WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
+    : engine_(engine),
+      config_(config),
+      manager_(config.rms),
+      trace_(engine) {
+  manager_.on_start([this](const rms::Job& job) { on_started(job); });
+  manager_.on_end([this](const rms::Job& job) {
+    (void)job;
+    ++completed_;
+    trace_.record("completed", completed_);
+  });
+  manager_.on_alloc_change([this](int allocated, int running) {
+    trace_.record("allocated", allocated);
+    trace_.record("running", running);
+  });
+}
+
+void WorkloadDriver::add(JobPlan plan) {
+  if (plan.time_limit <= 0.0) {
+    plan.time_limit =
+        plan.model.step_seconds(plan.submit_nodes) * plan.model.iterations *
+        1.2;
+  }
+  auto exec = std::make_unique<Exec>();
+  exec->plan = std::move(plan);
+  execs_.push_back(std::move(exec));
+}
+
+void WorkloadDriver::submit(Exec& exec) {
+  rms::JobSpec spec;
+  spec.name = exec.plan.model.name;
+  spec.requested_nodes = exec.plan.submit_nodes;
+  spec.min_nodes = exec.plan.model.request.min_procs;
+  spec.max_nodes = exec.plan.model.request.max_procs;
+  spec.preferred_nodes = exec.plan.model.request.preferred;
+  spec.factor = exec.plan.model.request.factor;
+  spec.flexible = exec.plan.flexible;
+  spec.moldable = exec.plan.moldable;
+  spec.time_limit = exec.plan.time_limit;
+  exec.id = manager_.submit(std::move(spec), engine_.now());
+  by_id_[exec.id] = &exec;
+  manager_.schedule(engine_.now());
+}
+
+void WorkloadDriver::on_started(const rms::Job& job) {
+  const auto it = by_id_.find(job.id);
+  if (it == by_id_.end()) return;  // not one of ours (shouldn't happen)
+  Exec& exec = *it->second;
+  exec.steps_left = exec.plan.model.iterations;
+  const double period = config_.sched_period_override >= 0.0
+                            ? config_.sched_period_override
+                            : exec.plan.model.sched_period;
+  exec.inhibitor.set_period(period);
+  // Defer to a fresh event: this callback fires inside a Manager
+  // scheduling pass, and the first reconfiguring point itself mutates the
+  // manager (reentrancy hazard otherwise).
+  engine_.schedule_after(0.0, [this, &exec] { begin_execution(exec); });
+}
+
+void WorkloadDriver::begin_execution(Exec& exec) {
+  double delay = 0.0;
+  if (exec.plan.flexible) delay = reconfiguring_point(exec);
+  proceed_after_check(exec, delay);
+}
+
+void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
+  if (delay <= 0.0) {
+    schedule_step(exec);
+    return;
+  }
+  engine_.schedule_after(delay, [this, &exec] {
+    const rms::Job& job = manager_.job(exec.id);
+    // A shrink's draining nodes are released once the redistribution
+    // (the modeled delay) completes.
+    bool draining = false;
+    for (int node : job.nodes) {
+      if (manager_.cluster().node(node).draining) {
+        draining = true;
+        break;
+      }
+    }
+    if (draining) manager_.complete_shrink(exec.id, engine_.now());
+    schedule_step(exec);
+  });
+}
+
+void WorkloadDriver::schedule_step(Exec& exec) {
+  const rms::Job& job = manager_.job(exec.id);
+  const double duration = exec.plan.model.step_seconds(job.allocated());
+  engine_.schedule_after(duration, [this, &exec] { finish_step(exec); });
+}
+
+void WorkloadDriver::finish_step(Exec& exec) {
+  --exec.steps_left;
+  if (exec.steps_left <= 0) {
+    manager_.job_finished(exec.id, engine_.now());
+    return;
+  }
+  double delay = 0.0;
+  if (exec.plan.flexible) delay = reconfiguring_point(exec);
+  proceed_after_check(exec, delay);
+}
+
+double WorkloadDriver::apply_outcome(Exec& exec,
+                                     const rms::DmrOutcome& outcome) {
+  if (outcome.action == rms::Action::None) return 0.0;
+  const rms::Job& job = manager_.job(exec.id);
+  // For an expand the allocation has already grown, so the pre-resize
+  // size is allocated - added; for a shrink the draining nodes are still
+  // attached, so allocated *is* the old size.
+  const int previous =
+      outcome.action == rms::Action::Expand
+          ? job.allocated() - static_cast<int>(outcome.added_nodes.size())
+          : job.allocated();
+  return config_.cost.reconfigure_seconds(exec.plan.model.state_bytes,
+                                          previous, outcome.new_size);
+}
+
+double WorkloadDriver::reconfiguring_point(Exec& exec) {
+  if (!exec.inhibitor.allow(engine_.now())) return 0.0;
+  const double overhead = config_.check_overhead_seconds;
+  if (!config_.asynchronous) {
+    const rms::DmrOutcome outcome =
+        manager_.dmr_check(exec.id, exec.plan.model.request, engine_.now());
+    return overhead + apply_outcome(exec, outcome);
+  }
+  // Asynchronous: apply the decision negotiated at the previous step,
+  // then schedule a fresh negotiation for the next one.
+  // The asynchronous call overlaps negotiation with the next step, so
+  // the per-check overhead is hidden (that is its selling point).
+  double delay = 0.0;
+  if (exec.deferred && exec.deferred->action != rms::Action::None) {
+    const rms::DmrOutcome outcome =
+        manager_.dmr_apply(exec.id, *exec.deferred, engine_.now());
+    delay = apply_outcome(exec, outcome);
+    exec.deferred.reset();
+    if (delay > 0.0) return delay;
+  } else {
+    exec.deferred.reset();
+  }
+  exec.deferred = manager_.dmr_decide(exec.id, exec.plan.model.request,
+                                      engine_.now());
+  return delay;
+}
+
+WorkloadMetrics WorkloadDriver::run() {
+  // Schedule arrivals.
+  for (auto& exec : execs_) {
+    engine_.schedule_at(exec->plan.arrival,
+                        [this, e = exec.get()] { submit(*e); });
+  }
+  engine_.run();
+  if (!manager_.all_done()) {
+    throw std::logic_error("WorkloadDriver: engine drained with live jobs");
+  }
+
+  WorkloadMetrics metrics;
+  std::vector<double> waits, execs, completions;
+  double makespan = 0.0;
+  for (const rms::Job* job : manager_.jobs()) {
+    if (job->state != rms::JobState::Completed) continue;
+    waits.push_back(job->wait_time());
+    execs.push_back(job->execution_time());
+    completions.push_back(job->completion_time());
+    makespan = std::max(makespan, job->end_time);
+    ++metrics.jobs;
+  }
+  metrics.makespan = makespan;
+  metrics.wait = util::summarize(std::move(waits));
+  metrics.execution = util::summarize(std::move(execs));
+  metrics.completion = util::summarize(std::move(completions));
+  if (trace_.has("allocated") && makespan > 0.0) {
+    metrics.utilization = trace_.average("allocated", 0.0, makespan) /
+                          manager_.cluster().size();
+  }
+  metrics.expands = manager_.counters().expands;
+  metrics.shrinks = manager_.counters().shrinks;
+  metrics.checks = manager_.counters().checks;
+  metrics.aborted_expands = manager_.counters().aborted_expands;
+  return metrics;
+}
+
+}  // namespace dmr::drv

@@ -1,0 +1,83 @@
+#include "rms/cluster.hpp"
+
+#include <stdexcept>
+
+namespace dmr::rms {
+
+Cluster::Cluster(int node_count, std::string name_prefix) {
+  if (node_count <= 0) {
+    throw std::invalid_argument("Cluster: non-positive node count");
+  }
+  nodes_.resize(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes_[static_cast<std::size_t>(i)].id = i;
+    nodes_[static_cast<std::size_t>(i)].name =
+        name_prefix + std::to_string(i);
+  }
+  idle_count_ = node_count;
+}
+
+Node& Cluster::mutable_node(int id) {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("Cluster: node id out of range");
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Cluster::allocate(JobId job, int count) {
+  if (count <= 0) throw std::invalid_argument("Cluster: non-positive count");
+  if (count > idle_count_) {
+    throw std::runtime_error("Cluster: insufficient idle nodes");
+  }
+  std::vector<int> granted;
+  granted.reserve(static_cast<std::size_t>(count));
+  for (auto& node : nodes_) {
+    if (node.owner != kInvalidJob) continue;
+    node.owner = job;
+    node.draining = false;
+    granted.push_back(node.id);
+    if (static_cast<int>(granted.size()) == count) break;
+  }
+  idle_count_ -= count;
+  return granted;
+}
+
+void Cluster::release(JobId job, const std::vector<int>& node_ids) {
+  for (int id : node_ids) {
+    Node& node = mutable_node(id);
+    if (node.owner != job) {
+      throw std::runtime_error("Cluster: releasing node not owned by job");
+    }
+    node.owner = kInvalidJob;
+    node.draining = false;
+    ++idle_count_;
+  }
+}
+
+void Cluster::release_all(JobId job) { release(job, nodes_of(job)); }
+
+void Cluster::transfer(JobId from, JobId to,
+                       const std::vector<int>& node_ids) {
+  for (int id : node_ids) {
+    Node& node = mutable_node(id);
+    if (node.owner != from) {
+      throw std::runtime_error("Cluster: transferring node not owned by job");
+    }
+    node.owner = to;
+    node.draining = false;
+  }
+}
+
+void Cluster::set_draining(const std::vector<int>& node_ids, bool draining) {
+  for (int id : node_ids) mutable_node(id).draining = draining;
+}
+
+std::vector<int> Cluster::nodes_of(JobId job) const {
+  std::vector<int> owned;
+  for (const auto& node : nodes_) {
+    if (node.owner == job) owned.push_back(node.id);
+  }
+  return owned;
+}
+
+}  // namespace dmr::rms

@@ -1,0 +1,63 @@
+// Node inventory and allocation tracking.
+//
+// Nodes are the allocation unit, matching the paper's setup of one MPI
+// rank per node (intra-node parallelism belongs to OpenMP/OmpSs and is
+// outside the resource manager's concern).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rms/job.hpp"
+
+namespace dmr::rms {
+
+struct Node {
+  int id = -1;
+  std::string name;
+  /// Owning job, or kInvalidJob when idle.
+  JobId owner = kInvalidJob;
+  /// Draining: still owned, but scheduled for release after the shrink
+  /// drain protocol completes (no new work may land on it).
+  bool draining = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(int node_count, std::string name_prefix = "vnode");
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  int idle() const { return idle_count_; }
+  int allocated() const { return size() - idle_count_; }
+
+  const Node& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+  /// Allocate `count` idle nodes to `job`; returns their ids (lowest-id
+  /// first, which keeps simulations deterministic).  Throws when fewer
+  /// than `count` nodes are idle.
+  std::vector<int> allocate(JobId job, int count);
+
+  /// Release specific nodes owned by `job`.
+  void release(JobId job, const std::vector<int>& node_ids);
+
+  /// Release every node owned by `job`.
+  void release_all(JobId job);
+
+  /// Transfer nodes between jobs without an idle round-trip (the resize
+  /// protocol detaches the resizer job's allocation and attaches it to
+  /// the original job).
+  void transfer(JobId from, JobId to, const std::vector<int>& node_ids);
+
+  /// Mark nodes as draining (shrink in progress).
+  void set_draining(const std::vector<int>& node_ids, bool draining);
+
+  std::vector<int> nodes_of(JobId job) const;
+  std::string node_name(int id) const { return node(id).name; }
+
+ private:
+  Node& mutable_node(int id);
+  std::vector<Node> nodes_;
+  int idle_count_ = 0;
+};
+
+}  // namespace dmr::rms

@@ -1,0 +1,111 @@
+// Job model of the simulated workload manager.
+//
+// Follows the classification of Feitelson & Rudolph used by the paper:
+// *fixed* jobs keep their process count for their whole run; *flexible*
+// jobs expose reconfiguring points and may be expanded or shrunk by the
+// reconfiguration policy while running.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmr::rms {
+
+using JobId = std::int64_t;
+constexpr JobId kInvalidJob = -1;
+
+enum class JobState {
+  Pending,    // queued, waiting for an allocation
+  Running,    // allocated and executing
+  Completed,  // finished normally
+  Cancelled,  // removed before or during execution
+};
+
+std::string to_string(JobState state);
+
+/// Immutable submission-time description of a job.
+struct JobSpec {
+  std::string name;
+  /// Nodes requested at submission (the paper submits every job at its
+  /// user-preferred "fast execution" size).
+  int requested_nodes = 1;
+  /// Malleability bounds (Table I: "Minimum"/"Maximum" processes).
+  int min_nodes = 1;
+  int max_nodes = 1;
+  /// Preferred size conveyed to the RMS at reconfiguring points; 0 means
+  /// "no preference" (gives the RMS full freedom, as in the FS study).
+  int preferred_nodes = 0;
+  /// Resize factor: new sizes must be cur*factor^k or cur/factor^k.
+  int factor = 2;
+  /// Whether the job participates in dynamic reconfiguration.
+  bool flexible = false;
+  /// Wall-clock limit estimate used by the backfill scheduler.
+  double time_limit = 3600.0;
+  /// Base quality-of-service priority component.
+  double qos = 0.0;
+  /// Run only while this job is running (used by resizer jobs).
+  std::optional<JobId> depends_on;
+  /// Resizer jobs are internal bookkeeping helpers, invisible to metrics.
+  bool internal_resizer = false;
+  /// Moldable submission (the paper's future-work extension): instead of
+  /// a rigid `requested_nodes`, the scheduler may start the job with any
+  /// size in [min_nodes, requested_nodes] if that lets it start earlier.
+  bool moldable = false;
+};
+
+/// A job tracked by the manager.
+struct Job {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  JobState state = JobState::Pending;
+
+  /// Current node request; mutable through job updates (the Slurm resize
+  /// protocol updates it to 0 for resizer harvesting and to N_A+N_B for
+  /// the original job).
+  int requested_nodes = 1;
+
+  /// Allocated node ids (empty unless Running).
+  std::vector<int> nodes;
+
+  /// Scheduler priority boost (set_max_priority in Algorithm 1).
+  bool priority_boost = false;
+
+  double submit_time = 0.0;
+  double start_time = -1.0;
+  double end_time = -1.0;
+
+  /// Number of expand/shrink operations applied (telemetry).
+  int expansions = 0;
+  int shrinks = 0;
+
+  int allocated() const { return static_cast<int>(nodes.size()); }
+  bool pending() const { return state == JobState::Pending; }
+  bool running() const { return state == JobState::Running; }
+  bool finished() const {
+    return state == JobState::Completed || state == JobState::Cancelled;
+  }
+
+  double wait_time() const {
+    return start_time >= 0.0 ? start_time - submit_time : -1.0;
+  }
+  double execution_time() const {
+    return (start_time >= 0.0 && end_time >= 0.0) ? end_time - start_time
+                                                  : -1.0;
+  }
+  double completion_time() const {
+    return end_time >= 0.0 ? end_time - submit_time : -1.0;
+  }
+};
+
+/// Valid malleable sizes reachable from `current` with `factor`, within
+/// [min_nodes, max_nodes].  Expansion candidates are current*factor^k,
+/// shrink candidates current/factor^k (exact divisions only), k >= 1.
+std::vector<int> expand_candidates(int current, int factor, int max_nodes);
+std::vector<int> shrink_candidates(int current, int factor, int min_nodes);
+
+/// True when `target` is reachable from `current` by the resize factor.
+bool factor_reachable(int current, int target, int factor);
+
+}  // namespace dmr::rms

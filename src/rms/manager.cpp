@@ -1,0 +1,424 @@
+#include "rms/manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dmr::rms {
+
+Manager::Manager(RmsConfig config)
+    : config_(config), cluster_(config.nodes) {
+  config_.scheduler.weights.cluster_size = config.nodes;
+}
+
+void Manager::rescale_time_limit(Job& job, double now, double ratio) {
+  // Keep the backfill shadow estimates honest across resizes (the real
+  // integration would issue an `scontrol update TimeLimit`): the
+  // remaining wall time scales with old_size/new_size.
+  if (job.start_time < 0.0 || ratio <= 0.0) return;
+  const double elapsed = std::max(0.0, now - job.start_time);
+  const double remaining = std::max(0.0, job.spec.time_limit - elapsed);
+  job.spec.time_limit = elapsed + remaining * ratio;
+}
+
+Job& Manager::job_mutable(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("Manager: unknown job " + std::to_string(id));
+  }
+  return it->second;
+}
+
+const Job& Manager::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("Manager: unknown job " + std::to_string(id));
+  }
+  return it->second;
+}
+
+bool Manager::eligible(const Job& job) const {
+  if (!job.pending()) return false;
+  if (job.spec.depends_on) {
+    const auto it = jobs_.find(*job.spec.depends_on);
+    if (it == jobs_.end() || !it->second.running()) return false;
+  }
+  return true;
+}
+
+std::vector<Job*> Manager::eligible_pending(double now) {
+  std::vector<Job*> pending;
+  for (auto& [id, job] : jobs_) {
+    if (eligible(job)) pending.push_back(&job);
+  }
+  std::sort(pending.begin(), pending.end(),
+            PendingOrder{now, config_.scheduler.weights});
+  return pending;
+}
+
+JobId Manager::submit(JobSpec spec, double now) {
+  if (spec.requested_nodes <= 0 || spec.requested_nodes > cluster_.size()) {
+    throw std::invalid_argument("Manager: bad node request for " + spec.name);
+  }
+  if (spec.min_nodes < 1 || spec.max_nodes < spec.min_nodes) {
+    throw std::invalid_argument("Manager: bad malleability bounds for " +
+                                spec.name);
+  }
+  Job job;
+  job.id = next_id_++;
+  job.spec = std::move(spec);
+  job.requested_nodes = job.spec.requested_nodes;
+  job.submit_time = now;
+  job.state = JobState::Pending;
+  const JobId id = job.id;
+  DMR_DEBUG("rms") << "submit job " << id << " '" << job.spec.name << "' ("
+                   << job.requested_nodes << " nodes) at t=" << now;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+void Manager::start_job(Job& job, double now) {
+  job.nodes = cluster_.allocate(job.id, job.requested_nodes);
+  job.state = JobState::Running;
+  job.start_time = now;
+  job.priority_boost = false;
+  DMR_DEBUG("rms") << "start job " << job.id << " on " << job.allocated()
+                   << " nodes at t=" << now;
+  if (!job.spec.internal_resizer) {
+    for (const auto& cb : start_callbacks_) cb(job);
+  }
+  notify_alloc();
+}
+
+std::vector<JobId> Manager::schedule(double now) {
+  std::vector<JobId> started;
+  // Iterate to a fixpoint: starting a job can make its dependents
+  // eligible (resizer jobs depend on their parent running).
+  for (;;) {
+    ScheduleView view;
+    view.now = now;
+    view.idle_nodes = cluster_.idle();
+    view.pending = eligible_pending(now);
+    for (const auto& [id, job] : jobs_) {
+      if (job.running()) view.running.push_back(&job);
+    }
+    std::vector<Job*> to_start = schedule_pass(view, config_.scheduler);
+    if (to_start.empty()) {
+      // Moldable extension: when nothing rigid fits, the *head* job (and
+      // only the head — molding past a blocked head would starve it) may
+      // start smaller than requested, down to its minimum.
+      Job* molded = nullptr;
+      if (!view.pending.empty()) {
+        Job* head = view.pending.front();
+        if (head->spec.moldable && head->spec.min_nodes <= view.idle_nodes &&
+            view.idle_nodes > 0) {
+          molded = head;
+        }
+      }
+      if (molded == nullptr) break;
+      const int size = std::min(molded->requested_nodes, view.idle_nodes);
+      DMR_DEBUG("rms") << "molding job " << molded->id << " from "
+                       << molded->requested_nodes << " to " << size
+                       << " nodes";
+      molded->requested_nodes = size;
+      to_start.push_back(molded);
+    }
+    for (Job* job : to_start) {
+      start_job(*job, now);
+      started.push_back(job->id);
+    }
+  }
+  return started;
+}
+
+void Manager::finish_job(Job& job, double now, JobState final_state) {
+  if (job.running()) {
+    cluster_.release_all(job.id);
+    job.nodes.clear();
+  }
+  job.state = final_state;
+  job.end_time = now;
+  if (!job.spec.internal_resizer) {
+    for (const auto& cb : end_callbacks_) cb(job);
+  }
+  cancel_dependents(job.id, now);
+  notify_alloc();
+}
+
+void Manager::cancel_dependents(JobId parent, double now) {
+  // Resizer jobs are only meaningful while their parent runs.
+  std::vector<JobId> to_cancel;
+  for (const auto& [id, job] : jobs_) {
+    if (job.spec.depends_on == parent && !job.finished()) {
+      to_cancel.push_back(id);
+    }
+  }
+  for (JobId id : to_cancel) {
+    finish_job(job_mutable(id), now, JobState::Cancelled);
+  }
+}
+
+void Manager::cancel(JobId id, double now) {
+  Job& job = job_mutable(id);
+  if (job.finished()) return;
+  DMR_DEBUG("rms") << "cancel job " << id << " at t=" << now;
+  finish_job(job, now, JobState::Cancelled);
+  schedule(now);
+}
+
+void Manager::job_finished(JobId id, double now) {
+  Job& job = job_mutable(id);
+  if (!job.running()) {
+    throw std::logic_error("Manager: job_finished on non-running job");
+  }
+  DMR_DEBUG("rms") << "finish job " << id << " at t=" << now;
+  finish_job(job, now, JobState::Completed);
+  schedule(now);
+}
+
+void Manager::update_requested_nodes(JobId id, int nodes, double now) {
+  Job& job = job_mutable(id);
+  if (nodes < 0 || nodes > cluster_.size()) {
+    throw std::invalid_argument("Manager: bad node update");
+  }
+  job.requested_nodes = nodes;
+  if (job.pending()) schedule(now);
+}
+
+JobId Manager::submit_resizer(JobId parent, int extra_nodes, double now) {
+  const Job& parent_job = job(parent);
+  JobSpec spec;
+  spec.name = parent_job.spec.name + ":resizer";
+  spec.requested_nodes = extra_nodes;
+  spec.min_nodes = extra_nodes;
+  spec.max_nodes = extra_nodes;
+  spec.flexible = false;
+  spec.time_limit = parent_job.spec.time_limit;
+  spec.depends_on = parent;
+  spec.internal_resizer = true;
+  const JobId id = submit(std::move(spec), now);
+  // "RJ is set to the maximum priority, facilitating its execution."
+  job_mutable(id).priority_boost = true;
+  return id;
+}
+
+std::vector<int> Manager::harvest_resizer(JobId resizer, double now) {
+  Job& rj = job_mutable(resizer);
+  if (!rj.running()) {
+    throw std::logic_error("Manager: harvesting a non-running resizer");
+  }
+  const JobId parent = rj.spec.depends_on.value();
+  // Protocol steps 2-4: zero-size update detaches the nodes, the resizer
+  // is cancelled, and the original job absorbs the allocation.
+  std::vector<int> nodes = rj.nodes;
+  cluster_.transfer(resizer, parent, nodes);
+  rj.nodes.clear();
+  rj.requested_nodes = 0;
+  finish_job(rj, now, JobState::Cancelled);
+  Job& parent_job = job_mutable(parent);
+  parent_job.nodes.insert(parent_job.nodes.end(), nodes.begin(), nodes.end());
+  parent_job.requested_nodes = parent_job.allocated();
+  return nodes;
+}
+
+PolicyDecision Manager::dmr_decide(JobId id, const DmrRequest& request,
+                                   double now) {
+  Job& job = job_mutable(id);
+  if (!job.running()) {
+    throw std::logic_error("Manager: dmr_decide on non-running job");
+  }
+  ++counters_.checks;
+  PolicyView view;
+  view.job = &job;
+  view.idle_nodes = cluster_.idle();
+  for (const Job* pending : pending_snapshot(now)) {
+    view.pending.push_back(pending);
+  }
+  return reconfiguration_policy(view, request);
+}
+
+DmrOutcome Manager::dmr_check(JobId id, const DmrRequest& request,
+                              double now) {
+  return dmr_apply(id, dmr_decide(id, request, now), now);
+}
+
+DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
+                              double now) {
+  Job& job = job_mutable(id);
+  if (!job.running()) {
+    throw std::logic_error("Manager: dmr_apply on non-running job");
+  }
+
+  DmrOutcome outcome;
+  outcome.action = decision.action;
+  outcome.new_size = decision.new_size;
+
+  switch (decision.action) {
+    case Action::None:
+      ++counters_.no_actions;
+      return outcome;
+
+    case Action::Expand: {
+      const int extra = decision.new_size - job.allocated();
+      if (extra <= 0) {  // stale async decision already overtaken
+        outcome.action = Action::None;
+        outcome.aborted = true;
+        ++counters_.aborted_expands;
+        return outcome;
+      }
+      const JobId rj = submit_resizer(id, extra, now);
+      schedule(now);
+      if (!this->job(rj).running()) {
+        // The scheduler gave the nodes to somebody else (or a race left
+        // too few): abort, as the runtime would on its wait timeout.
+        cancel(rj, now);
+        outcome.action = Action::None;
+        outcome.new_size = 0;
+        outcome.aborted = true;
+        ++counters_.aborted_expands;
+        return outcome;
+      }
+      outcome.added_nodes = harvest_resizer(rj, now);
+      ++job.expansions;
+      ++counters_.expands;
+      rescale_time_limit(job, now,
+                         static_cast<double>(decision.new_size - extra) /
+                             static_cast<double>(decision.new_size));
+      for (const auto& cb : resize_callbacks_) {
+        cb(job, Action::Expand, decision.new_size - extra, decision.new_size,
+           now);
+      }
+      notify_alloc();
+      DMR_DEBUG("rms") << "job " << id << " expanded to " << job.allocated()
+                       << " nodes at t=" << now;
+      return outcome;
+    }
+
+    case Action::Shrink: {
+      const int release_count = job.allocated() - decision.new_size;
+      if (release_count <= 0) {  // stale async decision already overtaken
+        outcome.action = Action::None;
+        outcome.aborted = true;
+        return outcome;
+      }
+      // Drain the tail of the allocation; data is folded onto the head
+      // ranks (Listing 3's sender/receiver grouping keeps receivers on
+      // the surviving nodes).
+      outcome.draining_nodes.assign(
+          job.nodes.end() - release_count, job.nodes.end());
+      cluster_.set_draining(outcome.draining_nodes, true);
+      rescale_time_limit(job, now,
+                         static_cast<double>(job.allocated()) /
+                             static_cast<double>(decision.new_size));
+      outcome.boosted = decision.boost_target;
+      if (decision.boost_target != kInvalidJob &&
+          config_.shrink_priority_boost) {
+        Job& target = job_mutable(decision.boost_target);
+        if (target.pending()) target.priority_boost = true;
+      }
+      ++counters_.shrinks;
+      DMR_DEBUG("rms") << "job " << id << " shrinking to "
+                       << decision.new_size << " nodes at t=" << now;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+void Manager::complete_shrink(JobId id, double now) {
+  Job& job = job_mutable(id);
+  std::vector<int> draining;
+  for (int node_id : job.nodes) {
+    if (cluster_.node(node_id).draining) draining.push_back(node_id);
+  }
+  if (draining.empty()) {
+    throw std::logic_error("Manager: complete_shrink with no draining nodes");
+  }
+  const int old_size = job.allocated();
+  cluster_.release(id, draining);
+  auto& nodes = job.nodes;
+  nodes.erase(std::remove_if(nodes.begin(), nodes.end(),
+                             [&](int node_id) {
+                               return std::find(draining.begin(),
+                                                draining.end(),
+                                                node_id) != draining.end();
+                             }),
+              nodes.end());
+  job.requested_nodes = job.allocated();
+  ++job.shrinks;
+  for (const auto& cb : resize_callbacks_) {
+    cb(job, Action::Shrink, old_size, job.allocated(), now);
+  }
+  notify_alloc();
+  DMR_DEBUG("rms") << "job " << id << " shrunk to " << job.allocated()
+                   << " nodes at t=" << now;
+  schedule(now);
+}
+
+void Manager::abort_shrink(JobId id, double now) {
+  Job& job = job_mutable(id);
+  std::vector<int> draining;
+  for (int node_id : job.nodes) {
+    if (cluster_.node(node_id).draining) draining.push_back(node_id);
+  }
+  cluster_.set_draining(draining, false);
+  DMR_DEBUG("rms") << "job " << id << " shrink aborted at t=" << now;
+}
+
+std::vector<const Job*> Manager::pending_snapshot(double now) const {
+  std::vector<const Job*> pending;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.pending()) continue;
+    if (job.spec.internal_resizer) continue;
+    if (job.spec.depends_on) {
+      const auto it = jobs_.find(*job.spec.depends_on);
+      if (it == jobs_.end() || !it->second.running()) continue;
+    }
+    pending.push_back(&job);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [&](const Job* a, const Job* b) {
+              return PendingOrder{now, config_.scheduler.weights}(a, b);
+            });
+  return pending;
+}
+
+std::vector<const Job*> Manager::running_snapshot() const {
+  std::vector<const Job*> running;
+  for (const auto& [id, job] : jobs_) {
+    if (job.running() && !job.spec.internal_resizer) running.push_back(&job);
+  }
+  return running;
+}
+
+std::vector<const Job*> Manager::jobs() const {
+  std::vector<const Job*> all;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.spec.internal_resizer) all.push_back(&job);
+  }
+  return all;
+}
+
+bool Manager::all_done() const {
+  for (const auto& [id, job] : jobs_) {
+    if (job.spec.internal_resizer) continue;
+    if (!job.finished()) return false;
+  }
+  return true;
+}
+
+void Manager::notify_alloc() {
+  if (alloc_callbacks_.empty()) return;
+  int allocated = 0;
+  int running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.running() && !job.spec.internal_resizer) {
+      allocated += job.allocated();
+      ++running;
+    }
+  }
+  for (const auto& cb : alloc_callbacks_) cb(allocated, running);
+}
+
+}  // namespace dmr::rms

@@ -1,0 +1,160 @@
+// The workload manager façade ("our Slurm").
+//
+// Owns the cluster, the job table and the pending queue; exposes exactly
+// the operations the paper's methodology needs:
+//  - job lifecycle: submit / cancel / update / finish, with a backfill
+//    scheduling pass after every state change;
+//  - the DMR entry point dmr_check(): runs the Algorithm-1 policy and, on
+//    "expand", the full Slurm resize protocol (resizer job B with a
+//    dependency on A and max priority -> wait for it to run -> zero-size
+//    update detaches its nodes -> cancel B -> grow A);
+//  - shrink is two-phase (begin marks nodes draining, complete releases
+//    them once the runtime's drain ACKs arrive), matching the paper's
+//    synchronized workflow with a management node collecting ACKs.
+//
+// The manager is clock-agnostic: every mutation takes `now`, so the same
+// code serves the discrete-event simulation and the real-time examples.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rms/cluster.hpp"
+#include "rms/job.hpp"
+#include "rms/policy.hpp"
+#include "rms/scheduler.hpp"
+
+namespace dmr::rms {
+
+struct RmsConfig {
+  int nodes = 20;
+  SchedulerConfig scheduler;
+  /// Algorithm 1 line 18: boost the queued job that triggered a shrink
+  /// to maximum priority.  Disabled only by the policy ablation bench.
+  bool shrink_priority_boost = true;
+};
+
+/// Result of a DMR reconfiguring-point negotiation.
+struct DmrOutcome {
+  Action action = Action::None;
+  /// Granted process count (== allocation after the resize completes).
+  int new_size = 0;
+  /// Expand: node ids added to the job (already attached).
+  std::vector<int> added_nodes;
+  /// Shrink: node ids now draining; released by complete_shrink().
+  std::vector<int> draining_nodes;
+  /// Queued job boosted to max priority by a shrink decision.
+  JobId boosted = kInvalidJob;
+  /// True when the policy granted an action but the resizer-job protocol
+  /// could not obtain the nodes (timeout/abort path of Section V-B1).
+  bool aborted = false;
+};
+
+class Manager {
+ public:
+  explicit Manager(RmsConfig config);
+
+  // --- job lifecycle -------------------------------------------------------
+
+  JobId submit(JobSpec spec, double now);
+  void cancel(JobId id, double now);
+  /// Slurm-style "update job": change the pending/running node request.
+  void update_requested_nodes(JobId id, int nodes, double now);
+  /// The job's processes exited; release resources and reschedule.
+  void job_finished(JobId id, double now);
+  /// Run a scheduling pass; returns ids of jobs started (internal resizer
+  /// jobs included).
+  std::vector<JobId> schedule(double now);
+
+  // --- DMR (Sections IV-V) ---------------------------------------------------
+
+  /// Synchronous reconfiguring point: policy decision + immediate
+  /// application (dmr_check_status).
+  DmrOutcome dmr_check(JobId id, const DmrRequest& request, double now);
+  /// Policy decision only, no side effects (first half of the
+  /// asynchronous dmr_icheck_status: the action is applied at the *next*
+  /// reconfiguring point, possibly against a changed system state).
+  PolicyDecision dmr_decide(JobId id, const DmrRequest& request, double now);
+  /// Apply a previously negotiated action.  Expansion re-runs the resizer
+  /// protocol and may abort; shrinking always succeeds.  Reproduces the
+  /// paper's "outdated decision" behaviour of Section VIII-C.
+  DmrOutcome dmr_apply(JobId id, const PolicyDecision& decision, double now);
+  /// Complete a shrink after the drain ACKs: releases draining nodes,
+  /// reschedules (the boosted job should start here).
+  void complete_shrink(JobId id, double now);
+  /// Abort a shrink (failed drain): undrain, keep the allocation.
+  void abort_shrink(JobId id, double now);
+
+  // --- protocol pieces (exposed for tests; dmr_check composes them) ---------
+
+  JobId submit_resizer(JobId parent, int extra_nodes, double now);
+  /// Zero-size update + cancel: detach the resizer's nodes and hand them
+  /// to the parent job.  Returns the transferred node ids.
+  std::vector<int> harvest_resizer(JobId resizer, double now);
+
+  // --- queries ---------------------------------------------------------------
+
+  const Job& job(JobId id) const;
+  const Cluster& cluster() const { return cluster_; }
+  int idle_nodes() const { return cluster_.idle(); }
+  /// Eligible pending (non-internal) jobs in priority order.
+  std::vector<const Job*> pending_snapshot(double now) const;
+  std::vector<const Job*> running_snapshot() const;
+  /// All user-visible jobs (submission order).
+  std::vector<const Job*> jobs() const;
+  /// True when no user job is pending or running.
+  bool all_done() const;
+
+  // --- instrumentation -------------------------------------------------------
+
+  using JobCallback = std::function<void(const Job&)>;
+  void on_start(JobCallback cb) { start_callbacks_.push_back(std::move(cb)); }
+  void on_end(JobCallback cb) { end_callbacks_.push_back(std::move(cb)); }
+  /// Fired after any allocation change: (allocated nodes, running jobs).
+  using AllocCallback = std::function<void(int, int)>;
+  void on_alloc_change(AllocCallback cb) {
+    alloc_callbacks_.push_back(std::move(cb));
+  }
+  /// Fired when a resize is applied: (job, action, old size, new size,
+  /// time).  Expansion fires on grant; shrink fires on completion.
+  using ResizeCallback =
+      std::function<void(const Job&, Action, int, int, double)>;
+  void on_resize(ResizeCallback cb) {
+    resize_callbacks_.push_back(std::move(cb));
+  }
+
+  /// Counters for the evaluation section.
+  struct Counters {
+    long long expands = 0;
+    long long shrinks = 0;
+    long long no_actions = 0;
+    long long aborted_expands = 0;
+    long long checks = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Job& job_mutable(JobId id);
+  void rescale_time_limit(Job& job, double now, double ratio);
+  void start_job(Job& job, double now);
+  void finish_job(Job& job, double now, JobState final_state);
+  void cancel_dependents(JobId parent, double now);
+  bool eligible(const Job& job) const;
+  void notify_alloc();
+  std::vector<Job*> eligible_pending(double now);
+
+  RmsConfig config_;
+  Cluster cluster_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  Counters counters_;
+  std::vector<JobCallback> start_callbacks_;
+  std::vector<JobCallback> end_callbacks_;
+  std::vector<AllocCallback> alloc_callbacks_;
+  std::vector<ResizeCallback> resize_callbacks_;
+};
+
+}  // namespace dmr::rms

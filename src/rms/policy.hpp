@@ -1,0 +1,67 @@
+// The paper's Slurm resource-selection plug-in: Algorithm 1.
+//
+// Three degrees of scheduling freedom (Section IV):
+//  1. "Request an action": the application forces a direction by setting
+//     min_procs above / max_procs below its current allocation; the RMS
+//     still only grants what the system state allows.
+//  2. "Preferred number of nodes": expand/shrink toward the preference;
+//     when the queue is empty the job may grow up to its maximum.
+//  3. "Wide optimization": shrink when that lets a queued job start (the
+//     queued job gets a max-priority boost), expand when nothing pending
+//     could use the idle nodes anyway.
+//
+// The policy is a pure function of a system snapshot, so every branch of
+// Algorithm 1 is unit-testable.
+#pragma once
+
+#include <vector>
+
+#include "rms/job.hpp"
+
+namespace dmr::rms {
+
+enum class Action { None, Expand, Shrink };
+
+std::string to_string(Action action);
+
+/// What a reconfiguring point conveys to the RMS (the DMR API inputs).
+struct DmrRequest {
+  int min_procs = 1;
+  int max_procs = 1;
+  int factor = 2;
+  /// 0 = no preference (maximum RMS freedom).
+  int preferred = 0;
+};
+
+struct PolicyView {
+  /// The job asking (must be running).
+  const Job* job = nullptr;
+  int idle_nodes = 0;
+  /// Eligible pending jobs in priority order (highest first).
+  std::vector<const Job*> pending;
+};
+
+struct PolicyDecision {
+  Action action = Action::None;
+  /// Target process count when action != None.
+  int new_size = 0;
+  /// Queued job to boost to max priority when shrinking (Algorithm 1,
+  /// line 18); kInvalidJob otherwise.
+  JobId boost_target = kInvalidJob;
+};
+
+PolicyDecision reconfiguration_policy(const PolicyView& view,
+                                      const DmrRequest& request);
+
+/// Largest factor-reachable expansion of `current` that stays within
+/// min(limit, request bounds) and whose growth fits in `idle_nodes`.
+/// Returns 0 when no valid expansion exists (Algorithm 1's
+/// max_procs_to()).
+int max_procs_to(int current, int factor, int limit, int idle_nodes);
+
+/// Largest factor-reachable shrink of `current` that is <= ceiling and
+/// >= min_procs; 0 when none exists (Algorithm 1's min_procs_run() once
+/// the ceiling is derived from the target job's requirement).
+int min_procs_run(int current, int factor, int ceiling, int min_procs);
+
+}  // namespace dmr::rms

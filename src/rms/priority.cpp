@@ -1,0 +1,31 @@
+#include "rms/priority.hpp"
+
+#include <algorithm>
+
+namespace dmr::rms {
+
+double job_priority(const Job& job, double now,
+                    const PriorityWeights& weights) {
+  const double age = std::max(0.0, now - job.submit_time);
+  const double age_factor =
+      weights.age_cap > 0.0 ? std::min(age, weights.age_cap) / weights.age_cap
+                            : 0.0;
+  const double size_factor =
+      weights.cluster_size > 0
+          ? static_cast<double>(job.requested_nodes) /
+                static_cast<double>(weights.cluster_size)
+          : 0.0;
+  return weights.age_weight * age_factor + weights.size_weight * size_factor +
+         weights.qos_weight * job.spec.qos;
+}
+
+bool PendingOrder::operator()(const Job* a, const Job* b) const {
+  if (a->priority_boost != b->priority_boost) return a->priority_boost;
+  const double pa = job_priority(*a, now, weights);
+  const double pb = job_priority(*b, now, weights);
+  if (pa != pb) return pa > pb;
+  if (a->submit_time != b->submit_time) return a->submit_time < b->submit_time;
+  return a->id < b->id;
+}
+
+}  // namespace dmr::rms

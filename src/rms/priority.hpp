@@ -1,0 +1,34 @@
+// Multifactor job priority, following Slurm's priority/multifactor plugin
+// (the paper enables backfill + multifactor with default settings).
+//
+// priority = boost? +inf : w_age * min(age, age_cap)/age_cap
+//                        + w_size * (requested/cluster_size)
+//                        + w_qos * qos
+//
+// Algorithm 1's set_max_priority(targetJobId) maps to the boost flag,
+// which sorts strictly ahead of every unboosted job.
+#pragma once
+
+#include "rms/job.hpp"
+
+namespace dmr::rms {
+
+struct PriorityWeights {
+  double age_weight = 1000.0;
+  double age_cap = 7 * 24 * 3600.0;  // Slurm default PriorityMaxAge: 7 days
+  double size_weight = 0.0;          // disabled by default, like our setup
+  double qos_weight = 1000.0;
+  int cluster_size = 1;
+};
+
+double job_priority(const Job& job, double now, const PriorityWeights& weights);
+
+/// Strict-weak ordering for the pending queue: boosted jobs first, then
+/// descending priority, then FIFO (submit time, then id) as tiebreak.
+struct PendingOrder {
+  double now;
+  PriorityWeights weights;
+  bool operator()(const Job* a, const Job* b) const;
+};
+
+}  // namespace dmr::rms

@@ -1,0 +1,95 @@
+#include "rms/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dmr::rms {
+
+double shadow_time(const ScheduleView& view, int needed, int* extra_nodes) {
+  // Sort running jobs by expected completion; accumulate released nodes
+  // until the requirement is met.
+  struct Release {
+    double time;
+    int nodes;
+  };
+  std::vector<Release> releases;
+  releases.reserve(view.running.size());
+  for (const Job* job : view.running) {
+    const double expected_end =
+        std::max(view.now, job->start_time + job->spec.time_limit);
+    releases.push_back(Release{expected_end, job->allocated()});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.time < b.time; });
+  int free_nodes = view.idle_nodes;
+  for (const Release& release : releases) {
+    free_nodes += release.nodes;
+    if (free_nodes >= needed) {
+      if (extra_nodes != nullptr) *extra_nodes = free_nodes - needed;
+      return release.time;
+    }
+  }
+  if (extra_nodes != nullptr) *extra_nodes = 0;
+  return std::numeric_limits<double>::infinity();
+}
+
+std::vector<Job*> schedule_pass(const ScheduleView& view,
+                                const SchedulerConfig& config) {
+  std::vector<Job*> queue = view.pending;
+  std::sort(queue.begin(), queue.end(),
+            PendingOrder{view.now, config.weights});
+
+  std::vector<Job*> started;
+  int idle = view.idle_nodes;
+
+  // Start jobs FCFS until the head no longer fits.
+  std::size_t head = 0;
+  while (head < queue.size() && queue[head]->requested_nodes <= idle) {
+    idle -= queue[head]->requested_nodes;
+    started.push_back(queue[head]);
+    ++head;
+  }
+  if (head >= queue.size() || !config.backfill) return started;
+
+  // EASY reservation for the blocked head job.  The shadow computation
+  // must see the post-start idle count but the same running set: jobs we
+  // just chose to start have unknown end times only through their limits,
+  // so conservatively treat them as running from `now`.
+  ScheduleView shadow_view = view;
+  shadow_view.idle_nodes = idle;
+  // Started-but-not-yet-stamped jobs have start_time < 0; give the shadow
+  // computation a defensible estimate by treating them as starting now.
+  std::vector<Job> synthetic;
+  synthetic.reserve(started.size());
+  shadow_view.running.clear();
+  for (const Job* job : view.running) shadow_view.running.push_back(job);
+  for (Job* job : started) {
+    Job copy = *job;
+    copy.start_time = view.now;
+    copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes), 0);
+    synthetic.push_back(std::move(copy));
+  }
+  for (const Job& job : synthetic) shadow_view.running.push_back(&job);
+
+  int extra_at_shadow = 0;
+  const double shadow =
+      shadow_time(shadow_view, queue[head]->requested_nodes, &extra_at_shadow);
+
+  // Backfill: later jobs may start now if they fit and either complete
+  // before the shadow time or leave the reserved nodes untouched.
+  int backfill_window = extra_at_shadow;
+  for (std::size_t i = head + 1; i < queue.size(); ++i) {
+    Job* job = queue[i];
+    if (job->requested_nodes > idle) continue;
+    const bool ends_before_shadow =
+        view.now + job->spec.time_limit <= shadow;
+    const bool fits_window = job->requested_nodes <= backfill_window;
+    if (!ends_before_shadow && !fits_window) continue;
+    idle -= job->requested_nodes;
+    if (!ends_before_shadow) backfill_window -= job->requested_nodes;
+    started.push_back(job);
+  }
+  return started;
+}
+
+}  // namespace dmr::rms

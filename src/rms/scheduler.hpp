@@ -1,0 +1,45 @@
+// Queue scheduling: FCFS by multifactor priority with EASY backfill.
+//
+// This mirrors the paper's Slurm configuration ("backfill job scheduling
+// policy ... job priorities with the policy multifactor, both with default
+// values").  The pass is a pure function over a snapshot of the system so
+// it can be unit-tested exhaustively and reused by both the virtual-time
+// and the real-time managers.
+#pragma once
+
+#include <vector>
+
+#include "rms/job.hpp"
+#include "rms/priority.hpp"
+
+namespace dmr::rms {
+
+struct SchedulerConfig {
+  bool backfill = true;
+  PriorityWeights weights;
+};
+
+/// Snapshot of the scheduler's inputs at one instant.
+struct ScheduleView {
+  double now = 0.0;
+  int idle_nodes = 0;
+  /// Eligible pending jobs (dependencies already filtered by the caller).
+  std::vector<Job*> pending;
+  /// Running jobs, used to estimate the backfill shadow time.
+  std::vector<const Job*> running;
+};
+
+/// Decide which pending jobs to start now, in start order.  Guarantees:
+///  - total requested nodes of the result never exceeds idle_nodes;
+///  - the highest-priority blocked job is never delayed by a backfilled
+///    one (EASY reservation based on running jobs' time limits).
+std::vector<Job*> schedule_pass(const ScheduleView& view,
+                                const SchedulerConfig& config);
+
+/// Earliest time at which `needed` nodes are expected to be free, given
+/// current idle nodes and running jobs' expected completions.  Returns the
+/// shadow time and, through `extra_nodes`, how many nodes beyond `needed`
+/// will be free then (the backfill window width).
+double shadow_time(const ScheduleView& view, int needed, int* extra_nodes);
+
+}  // namespace dmr::rms

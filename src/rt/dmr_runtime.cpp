@@ -1,0 +1,184 @@
+#include "rt/dmr_runtime.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace dmr::rt {
+
+RmsConnection::RmsConnection(rms::Manager& manager, ClockFn clock)
+    : manager_(manager), clock_(std::move(clock)) {}
+
+rms::JobId RmsConnection::submit(rms::JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.submit(std::move(spec), clock_());
+}
+
+std::vector<rms::JobId> RmsConnection::schedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.schedule(clock_());
+}
+
+rms::DmrOutcome RmsConnection::dmr_check(rms::JobId job,
+                                         const rms::DmrRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.dmr_check(job, request, clock_());
+}
+
+rms::PolicyDecision RmsConnection::dmr_decide(rms::JobId job,
+                                              const rms::DmrRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.dmr_decide(job, request, clock_());
+}
+
+rms::DmrOutcome RmsConnection::dmr_apply(rms::JobId job,
+                                         const rms::PolicyDecision& decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.dmr_apply(job, decision, clock_());
+}
+
+void RmsConnection::complete_shrink(rms::JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manager_.complete_shrink(job, clock_());
+}
+
+void RmsConnection::job_finished(rms::JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manager_.job_finished(job, clock_());
+}
+
+void RmsConnection::cancel(rms::JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manager_.cancel(job, clock_());
+}
+
+rms::Job RmsConnection::job_info(rms::JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.job(job);
+}
+
+DmrRuntime::DmrRuntime(RmsConnection& connection, rms::JobId job,
+                       rms::DmrRequest request, double inhibitor_period)
+    : connection_(connection),
+      job_(job),
+      request_(request),
+      inhibitor_(inhibitor_period) {}
+
+ResizeDecision DmrRuntime::outcome_to_decision(
+    const rms::DmrOutcome& outcome) {
+  ResizeDecision decision;
+  decision.action = outcome.action;
+  decision.new_size = outcome.new_size;
+  if (outcome.action == rms::Action::None) return decision;
+  // Node list of the post-resize configuration: for expansion the full
+  // (grown) allocation; for shrink the surviving (non-draining) nodes.
+  const rms::Job info = connection_.job_info(job_);
+  const auto& cluster = connection_.manager().cluster();
+  for (int node_id : info.nodes) {
+    if (outcome.action == rms::Action::Shrink &&
+        cluster.node(node_id).draining) {
+      continue;
+    }
+    decision.hosts.push_back(cluster.node_name(node_id));
+  }
+  return decision;
+}
+
+ResizeDecision DmrRuntime::negotiate_sync() {
+  const rms::DmrOutcome outcome = connection_.dmr_check(job_, request());
+  return outcome_to_decision(outcome);
+}
+
+ResizeDecision DmrRuntime::negotiate_async() {
+  // Apply the decision negotiated at the previous step (if any), then
+  // schedule a fresh negotiation whose result the *next* step will apply.
+  ResizeDecision applied;
+  std::optional<rms::PolicyDecision> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = deferred_;
+    deferred_.reset();
+  }
+  if (previous && previous->action != rms::Action::None) {
+    const rms::DmrOutcome outcome = connection_.dmr_apply(job_, *previous);
+    applied = outcome_to_decision(outcome);
+  }
+  if (applied.action == rms::Action::None) {
+    const rms::PolicyDecision next = connection_.dmr_decide(job_, request());
+    std::lock_guard<std::mutex> lock(mu_);
+    deferred_ = next;
+  }
+  return applied;
+}
+
+ResizeDecision DmrRuntime::broadcast(const smpi::Comm& world,
+                                     ResizeDecision decision) {
+  // Rank 0 holds the authoritative decision; serialize as two broadcasts
+  // (header + host-name blob).
+  std::vector<int> header(3);
+  std::string blob;
+  if (world.rank() == 0) {
+    header[0] = static_cast<int>(decision.action);
+    header[1] = decision.new_size;
+    header[2] = static_cast<int>(decision.hosts.size());
+    std::ostringstream joined;
+    for (const auto& host : decision.hosts) joined << host << '\n';
+    blob = joined.str();
+  }
+  world.bcast(header, 0);
+  std::vector<char> chars(blob.begin(), blob.end());
+  world.bcast(chars, 0);
+  if (world.rank() != 0) {
+    decision.action = static_cast<rms::Action>(header[0]);
+    decision.new_size = header[1];
+    decision.hosts.clear();
+    std::istringstream lines(std::string(chars.begin(), chars.end()));
+    std::string host;
+    while (std::getline(lines, host)) decision.hosts.push_back(host);
+  }
+  return decision;
+}
+
+ResizeDecision DmrRuntime::check_status(const smpi::Comm& world) {
+  ResizeDecision decision;
+  if (world.rank() == 0) {
+    const double now = connection_.now();
+    bool allowed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      allowed = inhibitor_.allow(now);
+    }
+    if (allowed) decision = negotiate_sync();
+  }
+  return broadcast(world, decision);
+}
+
+ResizeDecision DmrRuntime::icheck_status(const smpi::Comm& world) {
+  ResizeDecision decision;
+  if (world.rank() == 0) {
+    const double now = connection_.now();
+    bool allowed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      allowed = inhibitor_.allow(now);
+    }
+    if (allowed) decision = negotiate_async();
+  }
+  return broadcast(world, decision);
+}
+
+void DmrRuntime::finish_shrink(const smpi::Comm& world) {
+  // The paper's drain protocol: a management node collects an ACK from
+  // every process confirming its offloads finished, then the nodes are
+  // released.  The world barrier is exactly that all-to-one ACK wave.
+  world.barrier();
+  if (world.rank() == 0) connection_.complete_shrink(job_);
+  world.barrier();
+}
+
+void DmrRuntime::finish_job(const smpi::Comm& world) {
+  world.barrier();
+  if (world.rank() == 0) connection_.job_finished(job_);
+}
+
+}  // namespace dmr::rt

@@ -1,0 +1,120 @@
+// The DMR API (Section V-A): the runtime half of the methodology.
+//
+// dmr_check_status / dmr_icheck_status instruct the runtime to negotiate
+// with the RMS and return "expand" / "shrink" / "no action" plus an opaque
+// handler the application uses in its offload directives.  In real mode
+// the negotiation happens on rank 0 and the result is broadcast over the
+// job's current world communicator, mirroring Nanos++'s single point of
+// contact with Slurm.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rms/manager.hpp"
+#include "rt/inhibitor.hpp"
+#include "smpi/comm.hpp"
+
+namespace dmr::rt {
+
+/// Thread-safe connection between the runtime and the resource manager.
+/// All Manager calls from rank threads funnel through here; the clock
+/// function supplies "now" (wall clock in real mode, virtual in DES).
+class RmsConnection {
+ public:
+  using ClockFn = std::function<double()>;
+  RmsConnection(rms::Manager& manager, ClockFn clock);
+
+  rms::JobId submit(rms::JobSpec spec);
+  std::vector<rms::JobId> schedule();
+  rms::DmrOutcome dmr_check(rms::JobId job, const rms::DmrRequest& request);
+  rms::PolicyDecision dmr_decide(rms::JobId job,
+                                 const rms::DmrRequest& request);
+  rms::DmrOutcome dmr_apply(rms::JobId job,
+                            const rms::PolicyDecision& decision);
+  void complete_shrink(rms::JobId job);
+  void job_finished(rms::JobId job);
+  void cancel(rms::JobId job);
+  rms::Job job_info(rms::JobId job);
+  double now() const { return clock_(); }
+  rms::Manager& manager() { return manager_; }
+  std::mutex& mutex() { return mu_; }
+
+ private:
+  rms::Manager& manager_;
+  ClockFn clock_;
+  std::mutex mu_;
+};
+
+/// What the application sees at a reconfiguring point.
+struct ResizeDecision {
+  rms::Action action = rms::Action::None;
+  /// Process count of the new configuration when action != None.
+  int new_size = 0;
+  /// Node names for the new process set (informational, passed to spawn
+  /// like the node list Slurm hands to MPI_Comm_spawn).
+  std::vector<std::string> hosts;
+};
+
+/// Per-job runtime state shared by the ranks of one process set (and its
+/// successors after resizes).  Implements the synchronous and the
+/// asynchronous checking calls plus the inhibitor.
+class DmrRuntime {
+ public:
+  DmrRuntime(RmsConnection& connection, rms::JobId job,
+             rms::DmrRequest request, double inhibitor_period = 0.0);
+
+  /// dmr_check_status: collective over `world`.  Rank 0 negotiates with
+  /// the RMS; the decision is broadcast.  Returns None when inhibited.
+  ResizeDecision check_status(const smpi::Comm& world);
+
+  /// dmr_icheck_status: collective.  Returns the action negotiated at the
+  /// *previous* call and schedules a fresh negotiation for the next one;
+  /// the applied action can therefore be outdated (Section VIII-C).
+  ResizeDecision icheck_status(const smpi::Comm& world);
+
+  /// After the offload/data movement completes, the runtime finishes the
+  /// shrink protocol (drain ACKs -> release).  Collective; call once per
+  /// old process set, after a world barrier, from rank 0 (the helper does
+  /// both).
+  void finish_shrink(const smpi::Comm& world);
+
+  /// The final process set reports completion.
+  void finish_job(const smpi::Comm& world);
+
+  rms::JobId job() const { return job_; }
+  rms::DmrRequest request() const {
+    std::lock_guard<std::mutex> lock(request_mu_);
+    return request_;
+  }
+  /// Change the request conveyed at future reconfiguring points.  This is
+  /// how *evolving* applications (Feitelson's fourth class) drive policy
+  /// mode 1: setting min_procs above the current size strongly suggests
+  /// an expansion, max_procs below it a shrink.  Call from rank 0 before
+  /// the collective check.
+  void set_request(const rms::DmrRequest& request) {
+    std::lock_guard<std::mutex> lock(request_mu_);
+    request_ = request;
+  }
+  RmsConnection& connection() { return connection_; }
+
+ private:
+  ResizeDecision outcome_to_decision(const rms::DmrOutcome& outcome);
+  ResizeDecision negotiate_sync();
+  ResizeDecision negotiate_async();
+  ResizeDecision broadcast(const smpi::Comm& world, ResizeDecision decision);
+
+  RmsConnection& connection_;
+  rms::JobId job_;
+  mutable std::mutex request_mu_;
+  rms::DmrRequest request_;
+  Inhibitor inhibitor_;
+  std::mutex mu_;
+  std::optional<rms::PolicyDecision> deferred_;
+};
+
+}  // namespace dmr::rt

@@ -1,0 +1,48 @@
+// The "checking inhibitor" of Section V-A.
+//
+// Iterative applications with short steps would otherwise negotiate with
+// the RMS every iteration; the inhibitor ignores DMR API calls that occur
+// within `period` of the last answered one.  The paper tunes this knob
+// through NANOX_SCHED_PERIOD; we read DMR_SCHED_PERIOD as the default.
+#pragma once
+
+#include <string>
+
+#include "util/config.hpp"
+
+namespace dmr::rt {
+
+class Inhibitor {
+ public:
+  /// period <= 0 disables inhibition (every check goes through).
+  explicit Inhibitor(double period = 0.0) : period_(period) {}
+
+  /// Construct from the DMR_SCHED_PERIOD environment variable.
+  static Inhibitor from_env(double fallback = 0.0) {
+    return Inhibitor(util::env_double("DMR_SCHED_PERIOD", fallback));
+  }
+
+  double period() const { return period_; }
+  void set_period(double period) { period_ = period; }
+
+  /// Returns true when a check at `now` is allowed; a granted check arms
+  /// the inhibition window.
+  bool allow(double now) {
+    if (period_ <= 0.0) return true;
+    if (armed_ && now - last_ < period_) return false;
+    armed_ = true;
+    last_ = now;
+    return true;
+  }
+
+  /// Forget the window (used after a completed resize so the new process
+  /// set starts fresh).
+  void reset() { armed_ = false; }
+
+ private:
+  double period_;
+  double last_ = 0.0;
+  bool armed_ = false;
+};
+
+}  // namespace dmr::rt

@@ -1,0 +1,123 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dmr::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  live_.insert(id);
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Engine::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  cancelled_.insert(id);
+  callbacks_.erase(id);
+  return true;
+}
+
+bool Engine::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    const auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.time;
+  auto node = callbacks_.extract(entry.id);
+  live_.erase(entry.id);
+  ++executed_;
+  if (!node.empty() && node.mapped()) node.mapped()();
+  return true;
+}
+
+std::size_t Engine::run(std::size_t limit) {
+  stop_requested_ = false;
+  std::size_t count = 0;
+  while (count < limit && !stop_requested_) {
+    if (!step()) break;
+    ++count;
+  }
+  return count;
+}
+
+std::size_t Engine::run_until(SimTime t_end) {
+  stop_requested_ = false;
+  std::size_t count = 0;
+  while (!stop_requested_) {
+    if (queue_.empty()) break;
+    // Peek: pop_next would consume, so inspect top after skipping
+    // cancelled entries by probing.
+    Entry top = queue_.top();
+    while (cancelled_.count(top.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      if (queue_.empty()) break;
+      top = queue_.top();
+    }
+    if (queue_.empty()) break;
+    if (top.time > t_end) break;
+    if (!step()) break;
+    ++count;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return count;
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, SimTime period,
+                           std::function<bool()> fn)
+    : engine_(engine), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0.0) {
+    throw std::invalid_argument("PeriodicTask: non-positive period");
+  }
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(SimTime first_delay) {
+  stop();
+  event_ = engine_.schedule_after(first_delay, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (event_ != kInvalidEvent) {
+    engine_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTask::fire() {
+  event_ = kInvalidEvent;
+  if (!fn_()) return;
+  event_ = engine_.schedule_after(period_, [this] { fire(); });
+}
+
+}  // namespace dmr::sim

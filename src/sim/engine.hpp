@@ -1,0 +1,112 @@
+// Discrete-event simulation engine.
+//
+// The workload-scale experiments (Figs. 3-12, Table II) run the resource
+// manager and hundreds of jobs in virtual time on this engine.  Events are
+// ordered by (time, sequence) so same-instant events fire in scheduling
+// order, which keeps runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dmr::sim {
+
+using SimTime = double;
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `at` (>= now).  Returns a
+  /// handle usable with cancel().
+  EventId schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` after a virtual delay (>= 0).
+  EventId schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event.  Returns false when the event already fired,
+  /// was cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const { return cancelled_.count(id) == 0 && live_.count(id) != 0; }
+
+  /// Number of events still queued (including not-yet-collected cancelled
+  /// entries; use empty() for a precise emptiness check).
+  std::size_t queued() const { return queue_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  /// Run a single event; returns false when no events remain.
+  bool step();
+
+  /// Run until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+  /// Run events with time <= t_end, then advance the clock to t_end.
+  std::size_t run_until(SimTime t_end);
+
+  /// Request that run() returns after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Events executed so far (monotone counter, for tests/telemetry).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+  // Callbacks stored separately so cancel() can drop the closure eagerly.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Repeating timer helper: fires `fn` every `period` until stop() or the
+/// predicate returns false.  Used for the runtime's periodic RMS checks.
+class PeriodicTask {
+ public:
+  PeriodicTask(Engine& engine, SimTime period, std::function<bool()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start(SimTime first_delay);
+  void stop();
+  bool running() const { return event_ != kInvalidEvent; }
+
+ private:
+  void fire();
+  Engine& engine_;
+  SimTime period_;
+  std::function<bool()> fn_;
+  EventId event_ = kInvalidEvent;
+};
+
+}  // namespace dmr::sim

@@ -1,0 +1,173 @@
+#include "smpi/comm.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dmr::smpi {
+namespace detail {
+
+std::shared_ptr<CommState> CommState::make_intra(std::string name, int size) {
+  if (size <= 0) throw SmpiError("CommState: non-positive group size");
+  auto state = std::make_shared<CommState>();
+  state->name = std::move(name);
+  state->side[0].reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    state->side[0].push_back(std::make_unique<Mailbox>());
+  }
+  return state;
+}
+
+std::shared_ptr<CommState> CommState::make_inter(std::string name,
+                                                 int local_size,
+                                                 int remote_size) {
+  if (local_size <= 0 || remote_size <= 0) {
+    throw SmpiError("CommState: non-positive inter group size");
+  }
+  auto state = std::make_shared<CommState>();
+  state->name = std::move(name);
+  for (int r = 0; r < local_size; ++r) {
+    state->side[0].push_back(std::make_unique<Mailbox>());
+  }
+  for (int r = 0; r < remote_size; ++r) {
+    state->side[1].push_back(std::make_unique<Mailbox>());
+  }
+  return state;
+}
+
+}  // namespace detail
+
+Mailbox& Comm::target_mailbox(int dest) const {
+  const int target_side = is_inter() ? 1 - side_ : side_;
+  auto& group = state_->side[target_side];
+  if (dest < 0 || dest >= static_cast<int>(group.size())) {
+    throw RankError("destination rank out of range for " + state_->name);
+  }
+  return *group[static_cast<std::size_t>(dest)];
+}
+
+Mailbox& Comm::my_mailbox() const {
+  return *state_->side[side_][static_cast<std::size_t>(rank_)];
+}
+
+void Comm::check_intra(const char* what) const {
+  if (is_inter()) {
+    throw SmpiError(std::string(what) +
+                    ": collective not supported on inter-communicator");
+  }
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) const {
+  Envelope envelope;
+  envelope.source = rank_;
+  envelope.tag = tag;
+  envelope.data.assign(data.begin(), data.end());
+  target_mailbox(dest).deposit(std::move(envelope));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag,
+                                        Status* status) const {
+  if (source != kAnySource) {
+    const int src_side = is_inter() ? 1 - side_ : side_;
+    const auto group_size = static_cast<int>(state_->side[src_side].size());
+    if (source < 0 || source >= group_size) {
+      throw RankError("source rank out of range for " + state_->name);
+    }
+  }
+  Envelope envelope = my_mailbox().receive(source, tag);
+  if (status != nullptr) {
+    status->source = envelope.source;
+    status->tag = envelope.tag;
+    status->bytes = envelope.data.size();
+  }
+  return std::move(envelope.data);
+}
+
+Request Comm::isend_bytes(int dest, int tag,
+                          std::span<const std::byte> data) const {
+  // Standard-mode send with eager buffering: the payload is copied into
+  // the envelope, so the operation completes locally at once.
+  send_bytes(dest, tag, data);
+  Status status;
+  status.source = rank_;
+  status.tag = tag;
+  status.bytes = data.size();
+  return Request::completed(status);
+}
+
+Request Comm::irecv_bytes(int source, int tag) const {
+  return my_mailbox().post_receive(source, tag);
+}
+
+bool Comm::probe(int source, int tag, Status* status) const {
+  return my_mailbox().probe(source, tag, status);
+}
+
+Comm Comm::split(int color, int key) const {
+  check_intra("split");
+  // Gather (color, key) from every rank at rank 0.
+  const int mine[2] = {color, key};
+  std::vector<int> all;
+  gatherv(std::span<const int>(mine, 2), all, 0);
+
+  using SplitMap =
+      std::vector<std::pair<std::shared_ptr<detail::CommState>, int>>;
+  if (rank_ == 0) {
+    auto assignment = std::make_shared<SplitMap>(
+        static_cast<std::size_t>(size()),
+        std::make_pair(std::shared_ptr<detail::CommState>(), -1));
+    // Group members by color; order within a group by (key, old rank).
+    std::map<int, std::vector<std::pair<int, int>>> groups;  // color -> (key, old)
+    for (int r = 0; r < size(); ++r) {
+      const int c = all[static_cast<std::size_t>(2 * r)];
+      const int k = all[static_cast<std::size_t>(2 * r + 1)];
+      if (c < 0) continue;  // MPI_UNDEFINED: rank opts out
+      groups[c].emplace_back(k, r);
+    }
+    for (auto& [c, members] : groups) {
+      std::sort(members.begin(), members.end());
+      auto state = detail::CommState::make_intra(
+          state_->name + ":split" + std::to_string(c),
+          static_cast<int>(members.size()));
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        (*assignment)[static_cast<std::size_t>(members[i].second)] = {
+            state, static_cast<int>(i)};
+      }
+    }
+    std::lock_guard<std::mutex> lock(state_->coll_mu);
+    state_->split_slot = assignment;
+  }
+  barrier();
+  std::shared_ptr<SplitMap> assignment;
+  {
+    std::lock_guard<std::mutex> lock(state_->coll_mu);
+    assignment = std::static_pointer_cast<SplitMap>(state_->split_slot);
+  }
+  barrier();
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lock(state_->coll_mu);
+    state_->split_slot.reset();
+  }
+  const auto& [new_state, new_rank] =
+      (*assignment)[static_cast<std::size_t>(rank_)];
+  if (!new_state) return Comm();  // opted out
+  return Comm(new_state, /*side=*/0, new_rank);
+}
+
+void Comm::barrier() const {
+  check_intra("barrier");
+  auto& state = *state_;
+  std::unique_lock<std::mutex> lock(state.coll_mu);
+  const int group = side_;
+  const auto generation = state.barrier_generation[group];
+  if (++state.barrier_waiting[group] == size()) {
+    state.barrier_waiting[group] = 0;
+    ++state.barrier_generation[group];
+    state.coll_cv.notify_all();
+  } else {
+    state.coll_cv.wait(lock, [&] {
+      return state.barrier_generation[group] != generation;
+    });
+  }
+}
+
+}  // namespace dmr::smpi

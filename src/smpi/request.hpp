@@ -1,0 +1,104 @@
+// Nonblocking operation handles (MPI_Request analogue).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/types.hpp"
+
+namespace dmr::smpi {
+
+namespace detail {
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<std::byte> data;  // payload for receives
+
+  void complete(Status st, std::vector<std::byte> payload) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      status = st;
+      data = std::move(payload);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+}  // namespace detail
+
+/// Handle for an in-flight isend/irecv.  Copyable (shared state); wait()
+/// blocks until completion and returns the Status.  For receives, the
+/// payload is retrieved with take_data()/take<T>() after completion.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  /// An already-complete request (used for buffered isend).
+  static Request completed(Status st) {
+    auto state = std::make_shared<detail::RequestState>();
+    state->status = st;
+    state->done = true;
+    return Request(std::move(state));
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool test() const {
+    if (!state_) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  Status wait() {
+    if (!state_) throw SmpiError("Request::wait on empty request");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->status;
+  }
+
+  /// Move the received payload out (receives only; empty for sends).
+  std::vector<std::byte> take_data() {
+    if (!state_) throw SmpiError("Request::take_data on empty request");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return std::move(state_->data);
+  }
+
+  /// Reinterpret the received payload as a vector of trivially-copyable T.
+  template <typename T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = take_data();
+    if (raw.size() % sizeof(T) != 0) {
+      throw SmpiError("Request::take: payload size not a multiple of T");
+    }
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  std::shared_ptr<detail::RequestState> state() const { return state_; }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Block until all requests complete (MPI_Waitall).
+inline std::vector<Status> wait_all(std::span<Request> requests) {
+  std::vector<Status> statuses;
+  statuses.reserve(requests.size());
+  for (auto& request : requests) statuses.push_back(request.wait());
+  return statuses;
+}
+
+}  // namespace dmr::smpi

@@ -1,0 +1,121 @@
+// Process management: launching rank sets and spawning children.
+//
+// A Universe owns every process set ("job step") created in the process.
+// Each rank is a thread executing a user entry function with a Context
+// that exposes its rank, the set's world communicator, and — for spawned
+// sets — the parent inter-communicator (MPI_Comm_get_parent analogue).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "smpi/comm.hpp"
+
+namespace dmr::smpi {
+
+class Universe;
+class ProcessSet;
+class Context;
+
+using Entry = std::function<void(Context&)>;
+
+/// Per-rank execution context, passed to the entry function.
+class Context {
+ public:
+  int rank() const { return world_.rank(); }
+  int size() const { return world_.size(); }
+  const Comm& world() const { return world_; }
+  /// Parent inter-communicator; empty for top-level launches.
+  const std::optional<Comm>& parent() const { return parent_; }
+  Universe& universe() const { return *universe_; }
+  ProcessSet& process_set() const { return *set_; }
+  /// Host names assigned to this process set (one per rank; informational,
+  /// mirroring the node list Slurm hands to MPI_Comm_spawn).
+  const std::vector<std::string>& hosts() const;
+
+  /// Collective spawn over `comm`: every rank of `comm` must call; rank 0
+  /// creates `nprocs` child ranks running `entry` and all callers receive
+  /// the parent-side inter-communicator.
+  Comm spawn(const Comm& comm, int nprocs, Entry entry,
+             std::vector<std::string> hosts = {});
+
+ private:
+  friend class Universe;
+  Context(Universe* universe, ProcessSet* set, Comm world,
+          std::optional<Comm> parent)
+      : universe_(universe),
+        set_(set),
+        world_(std::move(world)),
+        parent_(std::move(parent)) {}
+
+  Universe* universe_;
+  ProcessSet* set_;
+  Comm world_;
+  std::optional<Comm> parent_;
+};
+
+/// A group of ranks launched together (an mpirun or an MPI_Comm_spawn).
+class ProcessSet {
+ public:
+  const std::string& name() const { return name_; }
+  int size() const { return size_; }
+  const std::vector<std::string>& hosts() const { return hosts_; }
+
+  /// Join all rank threads (idempotent).
+  void join();
+  bool joined() const { return joined_; }
+
+ private:
+  friend class Universe;
+  friend class Context;
+  std::string name_;
+  int size_ = 0;
+  std::vector<std::string> hosts_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<detail::CommState> world_state_;
+  bool joined_ = false;
+};
+
+class Universe {
+ public:
+  Universe() = default;
+  ~Universe();
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// Launch a top-level process set (no parent communicator).
+  ProcessSet& launch(std::string name, int nprocs, Entry entry,
+                     std::vector<std::string> hosts = {});
+
+  /// Join every process set, including sets spawned while joining.
+  void await_all();
+
+  /// Error strings captured from entry functions that threw.
+  std::vector<std::string> failures() const;
+
+  /// Total ranks ever launched (telemetry for tests and Fig. 1 bench).
+  int total_ranks_launched() const { return total_ranks_.load(); }
+  /// Number of spawn operations performed.
+  int spawn_count() const { return spawn_count_.load(); }
+
+ private:
+  friend class Context;
+
+  ProcessSet& launch_internal(std::string name, int nprocs, Entry entry,
+                              std::vector<std::string> hosts,
+                              std::shared_ptr<detail::CommState> parent_state);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ProcessSet>> sets_;
+  std::vector<std::string> failures_;
+  std::atomic<int> total_ranks_{0};
+  std::atomic<int> spawn_count_{0};
+};
+
+}  // namespace dmr::smpi

@@ -1,0 +1,74 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dmr::util {
+namespace {
+std::mutex g_log_mutex;
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "trace") return LogLevel::Trace;
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+Logger::Logger() : level_(LogLevel::Warn) {
+  if (const char* env = std::getenv("DMR_LOG_LEVEL")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  sink_ = std::move(sink);
+}
+
+void Logger::reset_sink() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  sink_ = nullptr;
+}
+
+void Logger::log(LogLevel level, std::string_view subsystem,
+                 std::string_view msg) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(subsystem.size() + msg.size() + 16);
+  line += '[';
+  line += log_level_name(level);
+  line += "][";
+  line += subsystem;
+  line += "] ";
+  line += msg;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace dmr::util

@@ -1,0 +1,97 @@
+// Minimal leveled logger for the DMR framework.
+//
+// The logger is process-global and thread-safe.  Components tag messages
+// with a subsystem name ("rms", "rt", "smpi", ...) so traces from the
+// resource manager and the runtime can be interleaved and still read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dmr::util {
+
+enum class LogLevel : int {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+/// Convert a level to its fixed-width display name ("TRACE", "INFO ", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; returns Info on
+/// unrecognized input.
+LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  /// The process-wide logger instance.
+  static Logger& instance();
+
+  /// Threshold below which messages are discarded.  Initialized from the
+  /// DMR_LOG_LEVEL environment variable (default: Warn, so tests and
+  /// benches stay quiet unless asked).
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Replace the output sink (default: stderr).  Used by tests to capture
+  /// log output.
+  using Sink = std::function<void(std::string_view line)>;
+  void set_sink(Sink sink);
+  void reset_sink();
+
+  /// Emit one formatted line: "[LEVEL][subsystem] message".
+  void log(LogLevel level, std::string_view subsystem, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view subsystem)
+      : level_(level), subsystem_(subsystem) {}
+  ~LogLine() { Logger::instance().log(level_, subsystem_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string subsystem_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dmr::util
+
+// Streaming log macros; the stream expression is not evaluated when the
+// level is disabled.
+#define DMR_LOG(level, subsystem)                                  \
+  if (!::dmr::util::Logger::instance().enabled(level)) {           \
+  } else                                                           \
+    ::dmr::util::detail::LogLine(level, subsystem)
+
+#define DMR_TRACE(subsystem) DMR_LOG(::dmr::util::LogLevel::Trace, subsystem)
+#define DMR_DEBUG(subsystem) DMR_LOG(::dmr::util::LogLevel::Debug, subsystem)
+#define DMR_INFO(subsystem) DMR_LOG(::dmr::util::LogLevel::Info, subsystem)
+#define DMR_WARN(subsystem) DMR_LOG(::dmr::util::LogLevel::Warn, subsystem)
+#define DMR_ERROR(subsystem) DMR_LOG(::dmr::util::LogLevel::Error, subsystem)

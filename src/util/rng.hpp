@@ -1,0 +1,145 @@
+// Deterministic random number generation for workload synthesis and
+// simulation tie-breaking.
+//
+// Everything stochastic in the framework draws from dmr::util::Rng so a
+// fixed seed reproduces the exact workload, schedule and metrics.  The
+// engine is xoshiro256** (public domain, Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dmr::util {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic engine, UniformRandomBitGenerator-compatible.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses rejection sampling to
+  /// avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(operator()());
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t draw = operator()();
+    while (draw >= limit) draw = operator()();
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential_mean(double mean) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Two-branch hyperexponential: with probability `p_first` draw
+  /// Exp(mean1), else Exp(mean2).  Feitelson's model uses this for job
+  /// runtimes, with the branch means correlated with job size.
+  double hyperexponential(double p_first, double mean1, double mean2) {
+    return exponential_mean(bernoulli(p_first) ? mean1 : mean2);
+  }
+
+  /// Standard normal via Box-Muller (single value, second discarded for
+  /// reproducibility simplicity).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Sample an index from non-negative weights (discrete distribution).
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-job randomness that must
+  /// not depend on evaluation order).
+  Rng fork() { return Rng(operator()()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+inline std::size_t Rng::discrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("discrete: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("discrete: zero total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dmr::util

@@ -1,0 +1,38 @@
+// Fixed-width table and CSV rendering for benchmark output.
+//
+// Every bench binary reproduces a paper table or figure by printing rows;
+// TableWriter keeps that output aligned and machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dmr::util {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(long long value);
+  static std::string percent(double fraction, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+  /// Render as CSV (no alignment, comma-separated, quoted when needed).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmr::util

@@ -1,0 +1,211 @@
+// Checkpoint store and the Checkpoint/Restart malleability baseline.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+
+#include "apps/flexible_sleep.hpp"
+#include "apps/nbody.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/cr_runner.hpp"
+
+namespace {
+
+using namespace dmr;
+
+class CkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dmr_ckpt_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CkptTest, WriteReadRoundTrip) {
+  ckpt::CheckpointStore store({dir_, /*fsync=*/false});
+  std::vector<std::byte> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i % 251);
+  }
+  store.write("state", data);
+  EXPECT_TRUE(store.exists("state"));
+  const auto back = store.read("state");
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.bytes_written(), 1000u);
+  EXPECT_EQ(store.bytes_read(), 1000u);
+  EXPECT_EQ(store.writes(), 1);
+  EXPECT_EQ(store.reads(), 1);
+}
+
+TEST_F(CkptTest, OverwriteReplacesContent) {
+  ckpt::CheckpointStore store({dir_, false});
+  std::vector<std::byte> first(10, std::byte{1});
+  std::vector<std::byte> second(5, std::byte{2});
+  store.write("s", first);
+  store.write("s", second);
+  EXPECT_EQ(store.read("s"), second);
+}
+
+TEST_F(CkptTest, MissingCheckpointThrows) {
+  ckpt::CheckpointStore store({dir_, false});
+  EXPECT_THROW(store.read("nope"), std::runtime_error);
+}
+
+TEST_F(CkptTest, RemoveAndClear) {
+  ckpt::CheckpointStore store({dir_, false});
+  std::vector<std::byte> data(4, std::byte{7});
+  store.write("a", data);
+  store.write("b", data);
+  store.remove("a");
+  EXPECT_FALSE(store.exists("a"));
+  EXPECT_TRUE(store.exists("b"));
+  store.clear();
+  EXPECT_FALSE(store.exists("b"));
+}
+
+TEST_F(CkptTest, FsyncPathWorks) {
+  ckpt::CheckpointStore store({dir_, /*fsync=*/true});
+  std::vector<std::byte> data(128, std::byte{9});
+  store.write("durable", data);
+  EXPECT_EQ(store.read("durable"), data);
+}
+
+TEST_F(CkptTest, CrRunnerNoResizeRunsToCompletion) {
+  ckpt::CheckpointStore store({dir_, false});
+  smpi::Universe universe;
+  rt::MalleableConfig config;
+  config.total_steps = 4;
+  apps::FlexibleSleepConfig fs;
+  fs.array_elements = 32;
+  const auto report = ckpt::run_checkpoint_restart(
+      universe, config,
+      [fs] { return std::make_unique<apps::FlexibleSleepState>(fs); }, 3,
+      store);
+  universe.await_all();
+  ASSERT_TRUE(universe.failures().empty()) << universe.failures()[0];
+  EXPECT_EQ(report.final_size, 3);
+  EXPECT_TRUE(report.resizes.empty());
+  EXPECT_EQ(store.writes(), 0);
+}
+
+TEST_F(CkptTest, CrResizeGoesThroughDisk) {
+  ckpt::CheckpointStore store({dir_, false});
+  smpi::Universe universe;
+  rt::MalleableConfig config;
+  config.total_steps = 6;
+  config.forced_decision = [](int step, int size)
+      -> std::optional<rt::ResizeDecision> {
+    if (step == 3 && size == 4) {
+      rt::ResizeDecision d;
+      d.action = rms::Action::Shrink;
+      d.new_size = 2;
+      return d;
+    }
+    return std::nullopt;
+  };
+  apps::FlexibleSleepConfig fs;
+  fs.array_elements = 64;
+  const auto report = ckpt::run_checkpoint_restart(
+      universe, config,
+      [fs] { return std::make_unique<apps::FlexibleSleepState>(fs); }, 4,
+      store);
+  universe.await_all();
+  ASSERT_TRUE(universe.failures().empty()) << universe.failures()[0];
+  EXPECT_EQ(report.final_size, 2);
+  ASSERT_EQ(report.resizes.size(), 1u);
+  EXPECT_EQ(report.resizes[0].old_size, 4);
+  EXPECT_EQ(report.resizes[0].new_size, 2);
+  EXPECT_GT(report.resizes[0].spawn_seconds, 0.0);
+  EXPECT_EQ(store.writes(), 1);
+  EXPECT_EQ(store.reads(), 1);
+  // steps counter + 64 doubles.
+  EXPECT_EQ(store.bytes_written(), sizeof(int) + 64 * sizeof(double));
+}
+
+TEST_F(CkptTest, CrPreservesTrajectoryExactly) {
+  // C/R and DMR must agree on the physics: run N-body through a C/R
+  // resize and compare with the sequential oracle.
+  apps::NbodyConfig config;
+  config.particles = 12;
+  std::vector<apps::Particle> oracle;
+  for (std::size_t i = 0; i < config.particles; ++i) {
+    oracle.push_back(apps::nbody_initial_particle(i, config));
+  }
+  for (int s = 0; s < 6; ++s) apps::nbody_reference_step(oracle, config);
+
+  ckpt::CheckpointStore store({dir_, false});
+  smpi::Universe universe;
+  rt::MalleableConfig run_config;
+  run_config.total_steps = 6;
+  run_config.forced_decision = [](int step, int size)
+      -> std::optional<rt::ResizeDecision> {
+    if (step == 2 && size == 3) {
+      rt::ResizeDecision d;
+      d.action = rms::Action::Expand;
+      d.new_size = 4;
+      return d;
+    }
+    return std::nullopt;
+  };
+
+  // Capture the final particles through a checker wrapper.
+  struct Capture final : public rt::AppState {
+    apps::NbodyState inner;
+    std::vector<apps::Particle>* out;
+    std::mutex* mu;
+    int last;
+    Capture(apps::NbodyConfig c, std::vector<apps::Particle>* o,
+            std::mutex* m, int l)
+        : inner(c), out(o), mu(m), last(l) {}
+    void init(int r, int n) override { inner.init(r, n); }
+    void compute_step(const smpi::Comm& w, int s) override {
+      inner.compute_step(w, s);
+      if (s == last) {
+        const auto all =
+            w.allgatherv(std::span<const apps::Particle>(inner.local()));
+        if (w.rank() == 0) {
+          std::lock_guard<std::mutex> lock(*mu);
+          *out = all;
+        }
+      }
+    }
+    void send_state(const smpi::Comm& i, int r, int o, int n) override {
+      inner.send_state(i, r, o, n);
+    }
+    void recv_state(const smpi::Comm& p, int r, int o, int n) override {
+      inner.recv_state(p, r, o, n);
+    }
+    std::vector<std::byte> serialize_global(const smpi::Comm& w) override {
+      return inner.serialize_global(w);
+    }
+    void deserialize_global(const smpi::Comm& w,
+                            std::span<const std::byte> b) override {
+      inner.deserialize_global(w, b);
+    }
+  };
+
+  std::vector<apps::Particle> result;
+  std::mutex mu;
+  ckpt::run_checkpoint_restart(
+      universe, run_config,
+      [&] { return std::make_unique<Capture>(config, &result, &mu, 5); }, 3,
+      store);
+  universe.await_all();
+  ASSERT_TRUE(universe.failures().empty()) << universe.failures()[0];
+  ASSERT_EQ(result.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(result[i].pos[k], oracle[i].pos[k]);
+      EXPECT_DOUBLE_EQ(result[i].vel[k], oracle[i].vel[k]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// End-to-end workload-driver tests: the cost model, small fixed vs
+// flexible workloads (the headline "flexible wins" property), async mode,
+// heterogeneous mixes and determinism.
+#include <gtest/gtest.h>
+
+#include "apps/models.hpp"
+#include "drv/workload_driver.hpp"
+#include "wl/feitelson.hpp"
+
+namespace {
+
+using namespace dmr;
+using drv::CostModel;
+using drv::DriverConfig;
+using drv::JobPlan;
+using drv::WorkloadDriver;
+using drv::WorkloadMetrics;
+
+TEST(Metrics, GainPercent) {
+  EXPECT_DOUBLE_EQ(drv::gain_percent(100.0, 60.0), 40.0);
+  EXPECT_DOUBLE_EQ(drv::gain_percent(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(drv::gain_percent(0.0, 50.0), 0.0);  // guarded
+}
+
+TEST(Metrics, DescribeContainsKeyNumbers) {
+  drv::WorkloadMetrics metrics;
+  metrics.jobs = 7;
+  metrics.makespan = 123.0;
+  metrics.expands = 3;
+  metrics.shrinks = 4;
+  const std::string text = drv::describe(metrics);
+  EXPECT_NE(text.find("jobs=7"), std::string::npos);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  EXPECT_NE(text.find("expands=3"), std::string::npos);
+}
+
+TEST(CostModel, DegenerateSingleRank) {
+  EXPECT_DOUBLE_EQ(CostModel::migrated_fraction(1, 1), 0.0);
+  CostModel cost;
+  // No data: only the spawn/protocol terms remain.
+  EXPECT_NEAR(cost.reconfigure_seconds(0, 4, 8),
+              cost.spawn_latency + cost.per_proc_spawn * 8, 1e-12);
+}
+
+TEST(CostModel, MigratedFractionShape) {
+  EXPECT_DOUBLE_EQ(CostModel::migrated_fraction(4, 4), 0.0);
+  EXPECT_NEAR(CostModel::migrated_fraction(2, 4), 0.75, 1e-6);
+  EXPECT_GT(CostModel::migrated_fraction(8, 32),
+            CostModel::migrated_fraction(8, 16) - 1e-9);
+}
+
+TEST(CostModel, CrMuchSlowerThanDmr) {
+  CostModel dmr_cost;
+  CostModel cr_cost;
+  cr_cost.use_checkpoint_restart = true;
+  const std::size_t gigabyte = std::size_t(1) << 30;
+  const double dmr_s = dmr_cost.reconfigure_seconds(gigabyte, 48, 24);
+  const double cr_s = cr_cost.reconfigure_seconds(gigabyte, 48, 24);
+  EXPECT_GT(cr_s / dmr_s, 10.0);  // the Fig. 1 gap
+}
+
+TEST(CostModel, MoreLanesFasterRedistribution) {
+  // Same shrink ratio, 8x the lanes: the data-movement term must shrink
+  // even though the migrated fraction is slightly larger.
+  CostModel cost;
+  const std::size_t bytes = std::size_t(1) << 30;
+  EXPECT_LT(cost.reconfigure_seconds(bytes, 16, 8),
+            cost.reconfigure_seconds(bytes, 2, 1));
+}
+
+JobPlan fs_plan(double arrival, int size, double runtime, int steps,
+                bool flexible, int max_size = 20) {
+  JobPlan plan;
+  plan.arrival = arrival;
+  plan.model = apps::fs_model(steps, size, runtime / steps, max_size,
+                              std::size_t(1) << 20);
+  plan.submit_nodes = size;
+  plan.flexible = flexible;
+  return plan;
+}
+
+DriverConfig small_config(int nodes) {
+  DriverConfig config;
+  config.rms.nodes = nodes;
+  return config;
+}
+
+TEST(Driver, SingleJobRunsToCompletion) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(0.0, 4, 40.0, 2, /*flexible=*/false));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 1);
+  // 2 steps x 20 s at the submitted size.
+  EXPECT_NEAR(metrics.makespan, 40.0, 1e-9);
+  EXPECT_NEAR(metrics.execution.mean, 40.0, 1e-9);
+  EXPECT_NEAR(metrics.wait.mean, 0.0, 1e-9);
+}
+
+TEST(Driver, FlexibleLoneJobExpandsAndFinishesFaster) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(0.0, 2, 100.0, 10, /*flexible=*/true, 8));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 1);
+  EXPECT_GE(metrics.expands, 1);
+  // Perfect scaling: expanding 2 -> 8 cuts step time 4x; even with the
+  // reconfiguration overhead the makespan must beat the fixed 100 s.
+  EXPECT_LT(metrics.makespan, 70.0);
+}
+
+TEST(Driver, QueuedJobTriggersShrinkOfRunningJob) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  // Flexible hog takes all 8 nodes; a rigid 4-node job arrives later.
+  driver.add(fs_plan(0.0, 8, 200.0, 20, /*flexible=*/true, 8));
+  driver.add(fs_plan(10.0, 4, 40.0, 2, /*flexible=*/false));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 2);
+  EXPECT_GE(metrics.shrinks, 1);
+  // The rigid job must not wait for the hog's full 200 s runtime.
+  EXPECT_LT(metrics.wait.max, 100.0);
+}
+
+WorkloadMetrics run_fs_workload(int jobs, bool flexible, bool asynchronous,
+                                std::uint64_t seed, double sched_period = -1.0,
+                                int steps = 2) {
+  wl::FeitelsonParams params;
+  params.jobs = jobs;
+  params.max_size = 20;
+  params.mean_interarrival = 10.0;
+  params.max_runtime = 60.0 * steps;
+  params.seed = seed;
+  const auto workload = wl::generate_feitelson(params);
+
+  sim::Engine engine;
+  DriverConfig config;
+  config.rms.nodes = 20;
+  config.asynchronous = asynchronous;
+  config.sched_period_override = sched_period;
+  WorkloadDriver driver(engine, config);
+  for (const auto& job : workload) {
+    driver.add(fs_plan(job.arrival, job.size, job.runtime, steps, flexible));
+  }
+  return driver.run();
+}
+
+TEST(Driver, FlexibleWorkloadBeatsFixed) {
+  // The Fig. 3 property at miniature scale: same workload, flexible
+  // configuration completes sooner and with shorter waits.
+  const auto fixed = run_fs_workload(15, false, false, 42);
+  const auto flexible = run_fs_workload(15, true, false, 42);
+  EXPECT_EQ(fixed.jobs, 15);
+  EXPECT_EQ(flexible.jobs, 15);
+  EXPECT_GT(flexible.expands + flexible.shrinks, 0);
+  EXPECT_LT(flexible.makespan, fixed.makespan);
+  // With only 15 jobs on 20 nodes the fixed run barely queues, so allow
+  // a small absolute wait regression; at workload scale (Fig. 11) the
+  // flexible wait is dramatically lower.
+  EXPECT_LE(flexible.wait.mean, fixed.wait.mean + 5.0);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  const auto a = run_fs_workload(12, true, false, 7);
+  const auto b = run_fs_workload(12, true, false, 7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.wait.mean, b.wait.mean);
+  EXPECT_EQ(a.expands, b.expands);
+  EXPECT_EQ(a.shrinks, b.shrinks);
+}
+
+TEST(Driver, AsyncModeRunsAndResizes) {
+  const auto metrics = run_fs_workload(12, true, true, 21);
+  EXPECT_EQ(metrics.jobs, 12);
+  EXPECT_GT(metrics.checks, 0);
+}
+
+TEST(Driver, InhibitorReducesChecks) {
+  const auto eager = run_fs_workload(10, true, false, 5, 0.0, 30);
+  const auto inhibited = run_fs_workload(10, true, false, 5, 10.0, 30);
+  EXPECT_LT(inhibited.checks, eager.checks);
+  EXPECT_EQ(inhibited.jobs, eager.jobs);
+}
+
+TEST(Driver, MixedWorkloadBothKindsComplete) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(16));
+  for (int i = 0; i < 6; ++i) {
+    driver.add(fs_plan(i * 5.0, 4, 60.0, 2, /*flexible=*/(i % 2 == 0), 16));
+  }
+  const auto metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 6);
+  EXPECT_GT(metrics.makespan, 0.0);
+}
+
+TEST(Driver, UtilizationWithinBounds) {
+  const auto metrics = run_fs_workload(10, true, false, 3);
+  EXPECT_GT(metrics.utilization, 0.0);
+  EXPECT_LE(metrics.utilization, 1.0);
+}
+
+TEST(Driver, TraceSeriesRecorded) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(0.0, 4, 40.0, 2, false));
+  driver.run();
+  EXPECT_TRUE(driver.trace().has("allocated"));
+  EXPECT_TRUE(driver.trace().has("running"));
+  EXPECT_TRUE(driver.trace().has("completed"));
+  EXPECT_DOUBLE_EQ(driver.trace().series("completed").max_value(), 1.0);
+}
+
+TEST(Driver, RealisticMixWithTableOneModels) {
+  // Miniature Section IX: CG/Jacobi/N-body jobs (scaled-down iteration
+  // counts) on a 64-node cluster, submitted at their max size.
+  sim::Engine engine;
+  DriverConfig config;
+  config.rms.nodes = 64;
+  WorkloadDriver driver(engine, config);
+  util::Rng rng(99);
+  double arrival = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    arrival += rng.exponential_mean(5.0);
+    JobPlan plan;
+    switch (i % 3) {
+      case 0: plan.model = apps::cg_model(); break;
+      case 1: plan.model = apps::jacobi_model(); break;
+      default: plan.model = apps::nbody_model(); break;
+    }
+    plan.model.iterations = std::min(plan.model.iterations, 2000);
+    plan.arrival = arrival;
+    plan.submit_nodes = plan.model.request.max_procs;
+    plan.flexible = true;
+    driver.add(plan);
+  }
+  const auto metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 9);
+  // The CG/Jacobi jobs prefer 8 procs: with contention some of them must
+  // have shrunk from 32.
+  EXPECT_GE(metrics.shrinks, 1);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Property tests of the block-distribution arithmetic and the
+// redistribution planner: the plan must partition the index space for
+// every (total, P, Q) combination, and executing it must reproduce the
+// global array exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "rt/redistribute.hpp"
+#include "smpi/universe.hpp"
+
+namespace {
+
+using namespace dmr::rt;
+
+TEST(BlockDistribution, BalancedCounts) {
+  const BlockDistribution dist(10, 3);
+  EXPECT_EQ(dist.count(0), 3u);  // floor(10r/3) boundaries: 0,3,6,10
+  EXPECT_EQ(dist.count(1), 3u);
+  EXPECT_EQ(dist.count(2), 4u);
+  std::size_t total = 0;
+  for (int r = 0; r < 3; ++r) total += dist.count(r);
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(BlockDistribution, CountsDifferByAtMostOne) {
+  for (std::size_t total : {1u, 7u, 64u, 1000u}) {
+    for (int parts : {1, 2, 3, 5, 8, 17}) {
+      const BlockDistribution dist(total, parts);
+      std::size_t lo = total, hi = 0;
+      for (int r = 0; r < parts; ++r) {
+        lo = std::min(lo, dist.count(r));
+        hi = std::max(hi, dist.count(r));
+      }
+      EXPECT_LE(hi - lo, 1u) << "total=" << total << " parts=" << parts;
+    }
+  }
+}
+
+TEST(BlockDistribution, OwnerConsistentWithRanges) {
+  const BlockDistribution dist(100, 7);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const int owner = dist.owner(i);
+    EXPECT_GE(i, dist.begin(owner));
+    EXPECT_LT(i, dist.end(owner));
+  }
+}
+
+TEST(BlockDistribution, Errors) {
+  EXPECT_THROW(BlockDistribution(10, 0), std::invalid_argument);
+  const BlockDistribution dist(10, 2);
+  EXPECT_THROW(dist.owner(10), std::out_of_range);
+  EXPECT_THROW(dist.begin(3), std::out_of_range);
+}
+
+TEST(Plan, EmptyForZeroElements) {
+  EXPECT_TRUE(plan_redistribution(0, 4, 2).empty());
+}
+
+TEST(Plan, IdentityWhenLayoutUnchanged) {
+  const auto plan = plan_redistribution(100, 4, 4);
+  EXPECT_EQ(plan.size(), 4u);
+  for (const Transfer& t : plan) {
+    EXPECT_EQ(t.src_rank, t.dst_rank);
+    EXPECT_EQ(t.src_offset, 0u);
+    EXPECT_EQ(t.dst_offset, 0u);
+  }
+}
+
+TEST(Plan, CleanSplitOnFactor2Expand) {
+  // 8 elements, 2 -> 4 ranks: each old rank feeds exactly two new ranks.
+  const auto plan = plan_redistribution(8, 2, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].src_rank, 0);
+  EXPECT_EQ(plan[0].dst_rank, 0);
+  EXPECT_EQ(plan[1].src_rank, 0);
+  EXPECT_EQ(plan[1].dst_rank, 1);
+  EXPECT_EQ(plan[2].src_rank, 1);
+  EXPECT_EQ(plan[2].dst_rank, 2);
+  EXPECT_EQ(plan[3].src_rank, 1);
+  EXPECT_EQ(plan[3].dst_rank, 3);
+}
+
+// Parameterized partition property over a grid of (total, P, Q).
+struct PlanCase {
+  std::size_t total;
+  int old_parts;
+  int new_parts;
+};
+
+class PlanSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanSweep, TransfersPartitionTheIndexSpace) {
+  const auto [total, old_parts, new_parts] = GetParam();
+  const BlockDistribution old_dist(total, old_parts);
+  const BlockDistribution new_dist(total, new_parts);
+  const auto plan = plan_redistribution(total, old_parts, new_parts);
+  std::vector<int> covered(total, 0);
+  for (const Transfer& t : plan) {
+    EXPECT_GT(t.count, 0u);
+    for (std::size_t k = 0; k < t.count; ++k) {
+      const std::size_t src_global = old_dist.begin(t.src_rank) +
+                                     t.src_offset + k;
+      const std::size_t dst_global = new_dist.begin(t.dst_rank) +
+                                     t.dst_offset + k;
+      EXPECT_EQ(src_global, dst_global);  // same element, new home
+      ASSERT_LT(src_global, total);
+      ++covered[src_global];
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(covered[i], 1) << "element " << i << " moved " << covered[i]
+                             << " times";
+  }
+}
+
+TEST_P(PlanSweep, PerRankViewsMatchFullPlan) {
+  const auto [total, old_parts, new_parts] = GetParam();
+  const auto plan = plan_redistribution(total, old_parts, new_parts);
+  std::size_t from_total = 0, to_total = 0;
+  for (int r = 0; r < old_parts; ++r) {
+    for (const Transfer& t : transfers_from(plan, r)) {
+      EXPECT_EQ(t.src_rank, r);
+      from_total += t.count;
+    }
+  }
+  for (int r = 0; r < new_parts; ++r) {
+    for (const Transfer& t : transfers_to(plan, r)) {
+      EXPECT_EQ(t.dst_rank, r);
+      to_total += t.count;
+    }
+  }
+  EXPECT_EQ(from_total, total);
+  EXPECT_EQ(to_total, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlanSweep,
+    ::testing::Values(PlanCase{16, 4, 8}, PlanCase{16, 8, 4},
+                      PlanCase{16, 4, 4}, PlanCase{100, 7, 3},
+                      PlanCase{100, 3, 7}, PlanCase{1, 1, 4},
+                      PlanCase{5, 4, 2}, PlanCase{97, 13, 5},
+                      PlanCase{64, 1, 16}, PlanCase{64, 16, 1},
+                      PlanCase{33, 32, 3}));
+
+TEST(MigratedElements, ZeroWhenUnchanged) {
+  EXPECT_EQ(migrated_elements(1024, 4, 4), 0u);
+}
+
+TEST(MigratedElements, FactorTwoExpandMovesHalf) {
+  // 2 -> 4: old rank 0 keeps its first half on new rank 0, sends second
+  // half to rank 1; same for old rank 1 -> 2,3.  Elements staying on the
+  // same rank index: new ranks 0 and... only rank 0's first half and
+  // nothing else: ranks 1,2,3 all receive from a different source index.
+  const std::size_t total = 1024;
+  const std::size_t moved = migrated_elements(total, 2, 4);
+  EXPECT_EQ(moved, total * 3 / 4);
+}
+
+TEST(MigratedElements, FractionGrowsWithImbalance) {
+  EXPECT_LT(migrated_elements(1 << 16, 8, 16),
+            migrated_elements(1 << 16, 8, 64));
+}
+
+TEST(SendRecvBlocks, RoundTripAcrossSpawn) {
+  // End-to-end over the substrate: 3 ranks redistribute a 31-element
+  // array to 5 spawned ranks; the gathered result must be the original.
+  dmr::smpi::Universe universe;
+  constexpr std::size_t kTotal = 31;
+  constexpr int kOld = 3, kNew = 5;
+  std::mutex mu;
+  std::map<int, std::vector<double>> received;
+
+  universe.launch("old", kOld, [&](dmr::smpi::Context& ctx) {
+    const BlockDistribution dist(kTotal, kOld);
+    std::vector<double> mine(dist.count(ctx.rank()));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<double>(dist.begin(ctx.rank()) + i) * 1.5;
+    }
+    const auto inter = ctx.spawn(ctx.world(), kNew,
+                                 [&](dmr::smpi::Context& child) {
+      const auto block = recv_blocks<double>(*child.parent(), child.rank(),
+                                             kTotal, kOld, kNew, 5);
+      std::lock_guard<std::mutex> lock(mu);
+      received[child.rank()] = block;
+    });
+    send_blocks<double>(inter, ctx.rank(), std::span<const double>(mine),
+                        kTotal, kOld, kNew, 5);
+  });
+  universe.await_all();
+  ASSERT_TRUE(universe.failures().empty());
+
+  const BlockDistribution new_dist(kTotal, kNew);
+  for (int r = 0; r < kNew; ++r) {
+    const auto& block = received[r];
+    ASSERT_EQ(block.size(), new_dist.count(r)) << "rank " << r;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_DOUBLE_EQ(block[i],
+                       static_cast<double>(new_dist.begin(r) + i) * 1.5);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Tests for the resource-manager building blocks: cluster allocation,
+// malleable size arithmetic, multifactor priority and the EASY backfill
+// scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rms/cluster.hpp"
+#include "rms/job.hpp"
+#include "rms/priority.hpp"
+#include "rms/scheduler.hpp"
+
+namespace {
+
+using namespace dmr::rms;
+
+TEST(Cluster, AllocateReleaseAccounting) {
+  Cluster cluster(8);
+  EXPECT_EQ(cluster.idle(), 8);
+  const auto nodes = cluster.allocate(1, 3);
+  EXPECT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(cluster.idle(), 5);
+  EXPECT_EQ(cluster.allocated(), 3);
+  cluster.release(1, nodes);
+  EXPECT_EQ(cluster.idle(), 8);
+}
+
+TEST(Cluster, AllocationIsDeterministicLowestIdFirst) {
+  Cluster cluster(4);
+  const auto first = cluster.allocate(1, 2);
+  EXPECT_EQ(first, (std::vector<int>{0, 1}));
+  cluster.release(1, {0});
+  const auto second = cluster.allocate(2, 2);
+  EXPECT_EQ(second, (std::vector<int>{0, 2}));
+}
+
+TEST(Cluster, OverAllocationThrows) {
+  Cluster cluster(2);
+  cluster.allocate(1, 2);
+  EXPECT_THROW(cluster.allocate(2, 1), std::runtime_error);
+}
+
+TEST(Cluster, ReleaseForeignNodeThrows) {
+  Cluster cluster(2);
+  cluster.allocate(1, 1);
+  EXPECT_THROW(cluster.release(2, {0}), std::runtime_error);
+}
+
+TEST(Cluster, TransferMovesOwnershipWithoutIdleChange) {
+  Cluster cluster(4);
+  const auto nodes = cluster.allocate(1, 2);
+  cluster.transfer(1, 2, nodes);
+  EXPECT_EQ(cluster.idle(), 2);
+  EXPECT_EQ(cluster.nodes_of(2), nodes);
+  EXPECT_TRUE(cluster.nodes_of(1).empty());
+}
+
+TEST(Cluster, DrainingFlag) {
+  Cluster cluster(2);
+  const auto nodes = cluster.allocate(1, 2);
+  cluster.set_draining({nodes[1]}, true);
+  EXPECT_FALSE(cluster.node(nodes[0]).draining);
+  EXPECT_TRUE(cluster.node(nodes[1]).draining);
+}
+
+TEST(JobSizes, ExpandCandidatesFactor2) {
+  EXPECT_EQ(expand_candidates(4, 2, 20), (std::vector<int>{8, 16}));
+  EXPECT_EQ(expand_candidates(3, 2, 20), (std::vector<int>{6, 12}));
+  EXPECT_TRUE(expand_candidates(16, 2, 20).empty());
+}
+
+TEST(JobSizes, ShrinkCandidatesExactDivisorsOnly) {
+  EXPECT_EQ(shrink_candidates(8, 2, 1), (std::vector<int>{4, 2, 1}));
+  EXPECT_EQ(shrink_candidates(8, 2, 2), (std::vector<int>{4, 2}));
+  EXPECT_EQ(shrink_candidates(6, 2, 1), (std::vector<int>{3}));
+  EXPECT_TRUE(shrink_candidates(5, 2, 1).empty());
+}
+
+TEST(JobSizes, FactorReachable) {
+  EXPECT_TRUE(factor_reachable(4, 16, 2));
+  EXPECT_TRUE(factor_reachable(16, 4, 2));
+  EXPECT_TRUE(factor_reachable(8, 8, 2));
+  EXPECT_FALSE(factor_reachable(4, 12, 2));
+  EXPECT_FALSE(factor_reachable(6, 4, 2));
+  EXPECT_TRUE(factor_reachable(3, 27, 3));
+}
+
+TEST(JobSizes, RejectBadArguments) {
+  EXPECT_THROW(expand_candidates(0, 2, 8), std::invalid_argument);
+  EXPECT_THROW(shrink_candidates(4, 1, 1), std::invalid_argument);
+}
+
+Job make_job(JobId id, int nodes, double submit, double qos = 0.0) {
+  Job job;
+  job.id = id;
+  job.spec.name = "j" + std::to_string(id);
+  job.spec.requested_nodes = nodes;
+  job.spec.min_nodes = 1;
+  job.spec.max_nodes = nodes;
+  job.spec.qos = qos;
+  job.spec.time_limit = 100.0;
+  job.requested_nodes = nodes;
+  job.submit_time = submit;
+  return job;
+}
+
+TEST(Priority, AgeRaisesPriority) {
+  PriorityWeights weights;
+  const Job old_job = make_job(1, 2, 0.0);
+  const Job new_job = make_job(2, 2, 500.0);
+  const double now = 1000.0;
+  EXPECT_GT(job_priority(old_job, now, weights),
+            job_priority(new_job, now, weights));
+}
+
+TEST(Priority, QosDominatesAge) {
+  PriorityWeights weights;
+  const Job aged = make_job(1, 2, 0.0);
+  const Job qos = make_job(2, 2, 900.0, /*qos=*/5.0);
+  EXPECT_GT(job_priority(qos, 1000.0, weights),
+            job_priority(aged, 1000.0, weights));
+}
+
+TEST(Priority, BoostSortsFirst) {
+  Job a = make_job(1, 2, 0.0);
+  Job b = make_job(2, 2, 900.0);
+  b.priority_boost = true;
+  const PendingOrder order{1000.0, PriorityWeights{}};
+  EXPECT_TRUE(order(&b, &a));
+  EXPECT_FALSE(order(&a, &b));
+}
+
+TEST(Priority, FifoTieBreak) {
+  const Job a = make_job(1, 2, 10.0);
+  const Job b = make_job(2, 2, 20.0);
+  const PendingOrder order{20.0, PriorityWeights{}};
+  EXPECT_TRUE(order(&a, &b));
+}
+
+TEST(Scheduler, StartsJobsThatFit) {
+  Job a = make_job(1, 3, 0.0);
+  Job b = make_job(2, 4, 1.0);
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 8;
+  view.pending = {&a, &b};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  EXPECT_EQ(started.size(), 2u);
+}
+
+TEST(Scheduler, NeverOverAllocates) {
+  Job a = make_job(1, 3, 0.0);
+  Job b = make_job(2, 4, 1.0);
+  Job c = make_job(3, 2, 2.0);
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 5;
+  view.pending = {&a, &b, &c};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  int total = 0;
+  for (const Job* job : started) total += job->requested_nodes;
+  EXPECT_LE(total, 5);
+}
+
+TEST(Scheduler, BackfillFillsAroundBlockedHead) {
+  // Head needs 8 (blocked); small short job fits idle 4 and finishes
+  // before the shadow time -> backfilled.
+  Job running = make_job(10, 4, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.spec.time_limit = 100.0;
+  running.nodes = {0, 1, 2, 3};
+
+  Job head = make_job(1, 8, 1.0);
+  Job small = make_job(2, 4, 2.0);
+  small.spec.time_limit = 50.0;  // ends before shadow (t=100)
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 4;
+  view.pending = {&head, &small};
+  view.running = {&running};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 2);
+}
+
+TEST(Scheduler, BackfillNeverDelaysHead) {
+  // A long small job that would still be running at the shadow time and
+  // would steal reserved nodes must NOT be backfilled.
+  Job running = make_job(10, 4, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.spec.time_limit = 100.0;
+  running.nodes = {0, 1, 2, 3};
+
+  Job head = make_job(1, 8, 1.0);
+  Job greedy = make_job(2, 4, 2.0);
+  greedy.spec.time_limit = 1000.0;  // overlaps the reservation
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 4;
+  view.pending = {&head, &greedy};
+  view.running = {&running};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  EXPECT_TRUE(started.empty());
+}
+
+TEST(Scheduler, BackfillUsesWindowBeyondHeadNeed) {
+  // 12 idle + 4 released at t=100; head needs 14 -> shadow t=100 with
+  // extra = 2.  A long 2-node job fits the window and may backfill.
+  Job running = make_job(10, 4, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.spec.time_limit = 100.0;
+  running.nodes = {0, 1, 2, 3};
+
+  Job head = make_job(1, 14, 1.0);
+  Job windowed = make_job(2, 2, 2.0);
+  windowed.spec.time_limit = 10000.0;
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 12;
+  view.pending = {&head, &windowed};
+  view.running = {&running};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 2);
+}
+
+TEST(Scheduler, NoBackfillWhenDisabled) {
+  Job running = make_job(10, 4, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.nodes = {0, 1, 2, 3};
+  Job head = make_job(1, 8, 1.0);
+  Job small = make_job(2, 2, 2.0);
+  small.spec.time_limit = 1.0;
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 4;
+  view.pending = {&head, &small};
+  view.running = {&running};
+  SchedulerConfig config;
+  config.backfill = false;
+  EXPECT_TRUE(schedule_pass(view, config).empty());
+}
+
+TEST(Scheduler, PriorityOrderRespected) {
+  Job low = make_job(1, 4, 0.0);
+  Job boosted = make_job(2, 4, 100.0);
+  boosted.priority_boost = true;
+  ScheduleView view;
+  view.now = 200.0;
+  view.idle_nodes = 4;
+  view.pending = {&low, &boosted};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 2);
+}
+
+TEST(Scheduler, ShadowTimeComputation) {
+  Job r1 = make_job(1, 4, 0.0);
+  r1.state = JobState::Running;
+  r1.start_time = 0.0;
+  r1.spec.time_limit = 50.0;
+  r1.nodes = {0, 1, 2, 3};
+  Job r2 = make_job(2, 4, 0.0);
+  r2.state = JobState::Running;
+  r2.start_time = 0.0;
+  r2.spec.time_limit = 80.0;
+  r2.nodes = {4, 5, 6, 7};
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 2;
+  view.running = {&r1, &r2};
+  int extra = -1;
+  EXPECT_DOUBLE_EQ(shadow_time(view, 6, &extra), 50.0);
+  EXPECT_EQ(extra, 0);
+  EXPECT_DOUBLE_EQ(shadow_time(view, 8, &extra), 80.0);
+  EXPECT_EQ(extra, 2);
+  EXPECT_TRUE(std::isinf(shadow_time(view, 100, &extra)));
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Unit tests for the discrete-event engine and the trace recorder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace dmr::sim;
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, SameTimeFifoBySchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_after(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Engine engine;
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double cancel
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine engine;
+  const EventId id = engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.schedule_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);
+  engine.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine engine;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(i + 1.0, [&] {
+      if (++count == 3) engine.stop();
+    });
+  }
+  engine.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(engine.empty());
+}
+
+TEST(Engine, RunWithLimit) {
+  Engine engine;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(i + 1.0, [&] { ++count; });
+  }
+  EXPECT_EQ(engine.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(engine.now(), 99.0);
+}
+
+TEST(PeriodicTask, FiresUntilPredicateFalse) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, 5.0, [&] { return ++fires < 4; });
+  task.start(1.0);
+  engine.run();
+  EXPECT_EQ(fires, 4);
+  EXPECT_DOUBLE_EQ(engine.now(), 16.0);  // 1, 6, 11, 16
+}
+
+TEST(PeriodicTask, StopCancelsFutureFires) {
+  Engine engine;
+  int fires = 0;
+  PeriodicTask task(engine, 1.0, [&] { ++fires; return true; });
+  task.start(0.0);
+  engine.schedule_at(3.5, [&] { task.stop(); });
+  engine.run();
+  EXPECT_EQ(fires, 4);  // t = 0, 1, 2, 3
+}
+
+TEST(PeriodicTask, RejectsNonPositivePeriod) {
+  Engine engine;
+  EXPECT_THROW(PeriodicTask(engine, 0.0, [] { return false; }),
+               std::invalid_argument);
+}
+
+TEST(Trace, RecordsSeriesAgainstEngineClock) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  engine.schedule_at(0.0, [&] { trace.record("alloc", 4.0); });
+  engine.schedule_at(10.0, [&] { trace.record("alloc", 8.0); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(trace.series("alloc").value_at(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(trace.series("alloc").value_at(10.0), 8.0);
+  EXPECT_NEAR(trace.average("alloc", 0.0, 20.0), 6.0, 1e-12);
+}
+
+TEST(Trace, DeltaAccumulates) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  engine.schedule_at(1.0, [&] { trace.record_delta("done", 1.0); });
+  engine.schedule_at(2.0, [&] { trace.record_delta("done", 1.0); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(trace.series("done").value_at(3.0), 2.0);
+}
+
+TEST(Trace, UnknownSeriesThrows) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  EXPECT_THROW(trace.series("nope"), std::out_of_range);
+}
+
+TEST(Trace, CsvExport) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  engine.schedule_at(1.0, [&] { trace.record("x", 2.0); });
+  engine.run();
+  const std::string csv = trace.to_csv("x");
+  EXPECT_NE(csv.find("time,x"), std::string::npos);
+  EXPECT_NE(csv.find("1,2"), std::string::npos);
+}
+
+}  // namespace
