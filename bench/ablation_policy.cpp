@@ -13,7 +13,7 @@
 #include <string>
 
 #include "common.hpp"
-#include "util/table.hpp"
+#include "dmr/util.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmr;

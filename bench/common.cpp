@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "util/chart.hpp"
-#include "util/rng.hpp"
+#include "dmr/util.hpp"
 
 namespace dmr::bench {
 

@@ -15,10 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/models.hpp"
-#include "drv/workload_driver.hpp"
-#include "sim/engine.hpp"
-#include "wl/feitelson.hpp"
+#include "dmr/simulation.hpp"
 
 namespace dmr::bench {
 

@@ -17,12 +17,11 @@
 
 #include <unistd.h>
 
-#include "apps/flexible_sleep.hpp"
-#include "apps/nbody.hpp"
-#include "ckpt/cr_runner.hpp"
+#include "dmr/apps.hpp"
+#include "dmr/ckpt.hpp"
 #include "common.hpp"
-#include "rt/malleable_app.hpp"
-#include "util/table.hpp"
+#include "dmr/malleable.hpp"
+#include "dmr/util.hpp"
 
 namespace {
 

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "util/table.hpp"
+#include "dmr/util.hpp"
 
 int main() {
   using namespace dmr;

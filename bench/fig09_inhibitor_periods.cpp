@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "util/table.hpp"
+#include "dmr/util.hpp"
 
 namespace {
 

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "util/table.hpp"
+#include "dmr/util.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmr;

@@ -4,12 +4,11 @@
 // passes and workload generation.
 #include <benchmark/benchmark.h>
 
-#include "rms/manager.hpp"
-#include "rt/redistribute.hpp"
-#include "sim/engine.hpp"
-#include "smpi/mailbox.hpp"
-#include "util/rng.hpp"
-#include "wl/feitelson.hpp"
+#include "dmr/manager.hpp"
+#include "dmr/malleable.hpp"
+#include "dmr/simulation.hpp"
+#include "dmr/substrate.hpp"
+#include "dmr/util.hpp"
 
 namespace {
 

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "util/table.hpp"
+#include "dmr/util.hpp"
 
 int main() {
   using dmr::apps::AppModel;

@@ -6,10 +6,8 @@
 // timeline, a small-scale Fig. 12.
 #include <cstdio>
 
-#include "apps/models.hpp"
-#include "drv/workload_driver.hpp"
-#include "util/chart.hpp"
-#include "util/rng.hpp"
+#include "dmr/simulation.hpp"
+#include "dmr/util.hpp"
 
 namespace {
 

@@ -23,12 +23,8 @@
 #include <map>
 #include <string>
 
-#include "apps/models.hpp"
-#include "drv/workload_driver.hpp"
-#include "rms/accounting.hpp"
-#include "util/config.hpp"
-#include "util/rng.hpp"
-#include "wl/feitelson.hpp"
+#include "dmr/simulation.hpp"
+#include "dmr/util.hpp"
 
 namespace {
 

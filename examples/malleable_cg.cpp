@@ -9,17 +9,16 @@
 #include <cstdio>
 #include <memory>
 
-#include "apps/cg.hpp"
-#include "rt/dmr_runtime.hpp"
-#include "rt/malleable_app.hpp"
-#include "smpi/universe.hpp"
+#include "dmr/apps.hpp"
+#include "dmr/dmr.hpp"
+#include "dmr/malleable.hpp"
 
 namespace {
 
 using namespace dmr;
 
 /// CG with residual reporting at a few checkpoints.
-class ReportingCg final : public rt::AppState {
+class ReportingCg final : public AppState {
  public:
   explicit ReportingCg(apps::CgConfig config) : inner_(config) {}
   void init(int rank, int nprocs) override { inner_.init(rank, nprocs); }
@@ -57,47 +56,46 @@ class ReportingCg final : public rt::AppState {
 }  // namespace
 
 int main() {
-  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {},
-                                      .shrink_priority_boost = true});
+  Manager manager(RmsConfig{.nodes = 8, .scheduler = {},
+                            .shrink_priority_boost = true});
   double clock = 0.0;
-  rt::RmsConnection connection(manager, [&] { return clock; });
 
   // The solver takes the whole cluster...
-  rms::JobSpec cg_spec;
+  Session cg_session(manager, [&] { return clock; });
+  JobSpec cg_spec;
   cg_spec.name = "cg";
   cg_spec.requested_nodes = 8;
   cg_spec.min_nodes = 1;
   cg_spec.max_nodes = 8;
   cg_spec.flexible = true;
-  const rms::JobId cg_job = connection.submit(cg_spec);
-  connection.schedule();
+  cg_session.submit(cg_spec);
+  cg_session.schedule();
 
-  // ... and a rigid job queues up behind it.
-  rms::JobSpec rigid;
+  // ... and a rigid job queues up behind it, sharing the connection.
+  Session rigid_session(cg_session.connection());
+  JobSpec rigid;
   rigid.name = "rigid-batch";
   rigid.requested_nodes = 4;
   rigid.min_nodes = 4;
   rigid.max_nodes = 4;
-  const rms::JobId rigid_job = connection.submit(rigid);
-  connection.schedule();
+  const JobId rigid_job = rigid_session.submit(rigid);
+  rigid_session.schedule();
   std::printf("cg running on %d nodes; rigid job %lld is %s\n",
-              connection.job_info(cg_job).allocated(),
-              static_cast<long long>(rigid_job),
-              rms::to_string(connection.job_info(rigid_job).state).c_str());
+              cg_session.info().allocated, static_cast<long long>(rigid_job),
+              to_string(rigid_session.info().state).c_str());
 
-  rms::DmrRequest request;
+  Request request;
   request.min_procs = 1;
   request.max_procs = 8;
-  auto runtime =
-      std::make_shared<rt::DmrRuntime>(connection, cg_job, request);
+  auto point = std::make_shared<ReconfigPoint>(cg_session, request);
 
   apps::CgConfig cg_config;
   cg_config.n = 64;
   smpi::Universe universe;
-  rt::MalleableConfig config;
+  MalleableConfig config;
   config.total_steps = 128;
-  const auto report = rt::run_malleable(
-      universe, runtime, config,
+  const auto report = run_malleable(
+      universe, point, config,
       [cg_config] { return std::make_unique<ReportingCg>(cg_config); }, 8);
   universe.await_all();
   for (const auto& failure : universe.failures()) {
@@ -107,12 +105,10 @@ int main() {
   std::printf("\ncg finished on %d ranks; rigid job is %s (waited through "
               "%zu resize(s))\n",
               report.final_size,
-              rms::to_string(connection.job_info(rigid_job).state).c_str(),
+              to_string(rigid_session.info().state).c_str(),
               report.resizes.size());
   // Tidy the virtual cluster: the rigid job is a placeholder without a
   // process payload, so cancel it explicitly.
-  if (!connection.job_info(rigid_job).finished()) {
-    connection.cancel(rigid_job);
-  }
+  if (!rigid_session.info().finished()) rigid_session.cancel();
   return universe.failures().empty() ? 0 : 1;
 }

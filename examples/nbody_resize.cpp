@@ -7,15 +7,14 @@
 #include <memory>
 #include <mutex>
 
-#include "apps/nbody.hpp"
-#include "rt/malleable_app.hpp"
-#include "smpi/universe.hpp"
+#include "dmr/apps.hpp"
+#include "dmr/malleable.hpp"
 
 namespace {
 
 using namespace dmr;
 
-class DiagnosingNbody final : public rt::AppState {
+class DiagnosingNbody final : public AppState {
  public:
   DiagnosingNbody(apps::NbodyConfig config,
                   apps::NbodyDiagnostics* final_diag, std::mutex* mu)
@@ -72,19 +71,19 @@ int main() {
               before.momentum[0], before.momentum[1], before.momentum[2]);
 
   smpi::Universe universe;
-  rt::MalleableConfig run;
+  MalleableConfig run;
   run.total_steps = 12;
   run.forced_decision = [](int step, int size)
-      -> std::optional<rt::ResizeDecision> {
-    rt::ResizeDecision d;
+      -> std::optional<ResizeDecision> {
+    ResizeDecision d;
     if (step == 4 && size == 4) {
-      d.action = rms::Action::Shrink;
+      d.action = Action::Shrink;
       d.new_size = 2;
       std::printf("--- shrinking 4 -> 2 ---\n");
       return d;
     }
     if (step == 8 && size == 2) {
-      d.action = rms::Action::Expand;
+      d.action = Action::Expand;
       d.new_size = 8;
       std::printf("--- expanding 2 -> 8 ---\n");
       return d;
@@ -94,7 +93,7 @@ int main() {
 
   apps::NbodyDiagnostics final_diag;
   std::mutex mu;
-  const auto report = rt::run_malleable(
+  const auto report = run_malleable(
       universe, nullptr, run,
       [&] {
         return std::make_unique<DiagnosingNbody>(config, &final_diag, &mu);

@@ -1,11 +1,12 @@
 // Quickstart: a minimal malleable application under the DMR framework.
 //
 // What happens here, end to end:
-//  1. A virtual 8-node cluster is managed by dmr::rms::Manager (the
-//     "Slurm" of the framework).
-//  2. A 2-process job is submitted and started.
+//  1. A virtual 8-node cluster is managed by dmr::Manager (the built-in
+//     dmr::Rms backend, "our Slurm").
+//  2. A dmr::Session submits and binds a 2-process job.
 //  3. The application — an iterative loop over a distributed array —
-//     calls dmr_check_status between iterations (rt::DmrRuntime).
+//     calls its dmr::ReconfigPoint between iterations (the paper's
+//     dmr_check_status).
 //  4. The reconfiguration policy notices the empty queue and grants an
 //     expansion to the job maximum; the runtime spawns the new rank set,
 //     redistributes the array, and the old ranks retire.
@@ -16,10 +17,8 @@
 #include <memory>
 #include <numeric>
 
-#include "rt/dmr_runtime.hpp"
-#include "rt/malleable_app.hpp"
-#include "rt/redistribute.hpp"
-#include "smpi/universe.hpp"
+#include "dmr/dmr.hpp"
+#include "dmr/malleable.hpp"
 
 namespace {
 
@@ -27,12 +26,12 @@ using namespace dmr;
 
 /// The application state: a block-distributed vector of doubles; each
 /// iteration adds one to every element.
-class Counters final : public rt::AppState {
+class Counters final : public AppState {
  public:
   explicit Counters(std::size_t total) : total_(total) {}
 
   void init(int rank, int nprocs) override {
-    const rt::BlockDistribution dist(total_, nprocs);
+    const BlockDistribution dist(total_, nprocs);
     local_.assign(dist.count(rank), 0.0);
     std::printf("[rank %d/%d] initialized %zu elements\n", rank, nprocs,
                 local_.size());
@@ -51,15 +50,14 @@ class Counters final : public rt::AppState {
 
   void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
                   int new_size) override {
-    rt::send_blocks<double>(inter, my_old_rank,
-                            std::span<const double>(local_), total_,
-                            old_size, new_size, /*tag=*/1);
+    send_blocks<double>(inter, my_old_rank, std::span<const double>(local_),
+                        total_, old_size, new_size, /*tag=*/1);
   }
 
   void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
                   int new_size) override {
-    local_ = rt::recv_blocks<double>(parent, my_new_rank, total_, old_size,
-                                     new_size, /*tag=*/1);
+    local_ = recv_blocks<double>(parent, my_new_rank, total_, old_size,
+                                 new_size, /*tag=*/1);
     std::printf("[rank %d] joined after resize %d -> %d with %zu elements\n",
                 my_new_rank, old_size, new_size, local_.size());
   }
@@ -80,7 +78,7 @@ class Counters final : public rt::AppState {
     std::vector<std::vector<double>> chunks;
     if (world.rank() == 0) {
       const auto* data = reinterpret_cast<const double*>(bytes.data());
-      const rt::BlockDistribution dist(total_, world.size());
+      const BlockDistribution dist(total_, world.size());
       chunks.resize(static_cast<std::size_t>(world.size()));
       for (int r = 0; r < world.size(); ++r) {
         chunks[static_cast<std::size_t>(r)].assign(data + dist.begin(r),
@@ -99,38 +97,41 @@ class Counters final : public rt::AppState {
 
 int main() {
   // 1. The resource manager: 8 virtual nodes, backfill + multifactor.
-  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {},
-                                      .shrink_priority_boost = true});
-  double virtual_clock = 0.0;
-  rt::RmsConnection connection(manager, [&] { return virtual_clock; });
+  Manager manager(RmsConfig{.nodes = 8, .scheduler = {},
+                            .shrink_priority_boost = true});
 
-  // 2. Submit and start a malleable job: 2 nodes now, up to 8.
-  rms::JobSpec spec;
+  // 2. A session binds the application to its job: it owns the RMS
+  //    connection, the job identity and the clock.
+  double virtual_clock = 0.0;
+  Session session(manager, [&] { return virtual_clock; });
+
+  JobSpec spec;
   spec.name = "quickstart";
   spec.requested_nodes = 2;
   spec.min_nodes = 1;
   spec.max_nodes = 8;
   spec.flexible = true;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
+  const JobId job = session.submit(spec);
+  session.schedule();
   std::printf("job %lld started on %d nodes (cluster has %d idle)\n",
-              static_cast<long long>(job),
-              connection.job_info(job).allocated(), manager.idle_nodes());
+              static_cast<long long>(job), session.info().allocated,
+              manager.idle_nodes());
 
-  // 3. The DMR request the application conveys at reconfiguring points.
-  rms::DmrRequest request;
+  // 3. The reconfiguring point the application calls between steps, with
+  //    the DMR request it conveys (min / max / factor).
+  Request request;
   request.min_procs = 1;
   request.max_procs = 8;
   request.factor = 2;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+  auto point = std::make_shared<ReconfigPoint>(session, request);
 
   // 4. Run the malleable loop: 6 iterations over 64 elements.
   smpi::Universe universe;
-  rt::MalleableConfig config;
+  MalleableConfig config;
   config.total_steps = 6;
-  const rt::RunReport report = rt::run_malleable(
-      universe, runtime, config,
-      [] { return std::make_unique<Counters>(64); }, /*initial_size=*/2);
+  const RunReport report = run_malleable(
+      universe, point, config, [] { return std::make_unique<Counters>(64); },
+      /*initial_size=*/2);
   universe.await_all();
 
   for (const auto& failure : universe.failures()) {
@@ -141,7 +142,7 @@ int main() {
               report.resizes.size());
   for (const auto& resize : report.resizes) {
     std::printf("  step %d: %s %d -> %d (%.3f ms of non-solving time)\n",
-                resize.step, rms::to_string(resize.action).c_str(),
+                resize.step, to_string(resize.action).c_str(),
                 resize.old_size, resize.new_size,
                 resize.spawn_seconds * 1e3);
   }

@@ -1,0 +1,10 @@
+// The bundled malleable applications (Table I): Conjugate Gradient,
+// Jacobi, N-body and Flexible Sleep, each implementing rt::AppState so
+// they can run under the real-mode malleable loop.
+#pragma once
+
+#include "apps/cg.hpp"              // IWYU pragma: export
+#include "apps/flexible_sleep.hpp"  // IWYU pragma: export
+#include "apps/jacobi.hpp"          // IWYU pragma: export
+#include "apps/models.hpp"          // IWYU pragma: export
+#include "apps/nbody.hpp"           // IWYU pragma: export

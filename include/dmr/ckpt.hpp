@@ -1,0 +1,7 @@
+// Checkpoint/restart baseline (the "CR" bars of Fig. 1): serialize the
+// application state, tear the job down, resubmit at the new size and
+// restore — the conventional alternative DMR is measured against.
+#pragma once
+
+#include "ckpt/checkpoint.hpp"  // IWYU pragma: export
+#include "ckpt/cr_runner.hpp"   // IWYU pragma: export

@@ -1,0 +1,24 @@
+// Umbrella header for the DMR public API.
+//
+// The deliberately small surface an application needs:
+//   dmr::Session        — a job's connection to the resource manager
+//   dmr::ReconfigPoint  — the reconfiguring point called between steps
+//                         (dmr_check_status / dmr_icheck_status behind
+//                         dmr::Mode)
+//   dmr::ReconfigEngine — the shared negotiate/defer/apply/drain state
+//                         machine (used directly by virtual-time hosts)
+//   dmr::Rms            — the resource-manager interface; dmr::Manager
+//                         is the built-in implementation
+//   dmr::Request / Decision / Outcome / ResizeDecision — value types
+//
+// Real-mode applications add <dmr/malleable.hpp>; workload simulations
+// add <dmr/simulation.hpp>.
+#pragma once
+
+#include "dmr/engine.hpp"          // IWYU pragma: export
+#include "dmr/inhibitor.hpp"       // IWYU pragma: export
+#include "dmr/manager.hpp"         // IWYU pragma: export
+#include "dmr/reconfig_point.hpp"  // IWYU pragma: export
+#include "dmr/rms.hpp"             // IWYU pragma: export
+#include "dmr/session.hpp"         // IWYU pragma: export
+#include "dmr/types.hpp"           // IWYU pragma: export

@@ -1,0 +1,76 @@
+// dmr::ReconfigEngine — the one reconfiguring-point state machine.
+//
+// Every substrate used to carry its own copy of the negotiate -> (defer)
+// -> apply -> drain-ACK -> complete/abort-shrink sequence: the real-mode
+// runtime in rt::DmrRuntime and the discrete-event workload driver in
+// drv::WorkloadDriver.  This class is the single remaining
+// implementation.  It is clock-agnostic (time comes from the session's
+// clock), substrate-agnostic (completion of the data movement is
+// reported back through complete_shrink()/abort_shrink(), whatever
+// "data movement" means for the caller), and mode-agnostic (the same
+// object serves dmr_check_status and dmr_icheck_status semantics).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "dmr/inhibitor.hpp"
+#include "dmr/session.hpp"
+#include "dmr/types.hpp"
+
+namespace dmr {
+
+class ReconfigEngine {
+ public:
+  /// Observer fired (after the engine lock is released) whenever an
+  /// outcome with action != None is applied — the completion hook
+  /// substrates use to start their redistribution work.  May call back
+  /// into the engine.
+  using ApplyHook = std::function<void(const Outcome&)>;
+
+  explicit ReconfigEngine(Session& session, double inhibitor_period = 0.0,
+                          ApplyHook on_apply = {});
+
+  /// One reconfiguring point.
+  ///
+  ///  - std::nullopt: the inhibitor swallowed the call; the RMS was not
+  ///    contacted.
+  ///  - Sync: the outcome of negotiate + apply (dmr_check_status).
+  ///  - Async: the outcome of applying the *previously* negotiated
+  ///    decision (Action::None on the first call); a fresh negotiation is
+  ///    scheduled for the next point unless an action was just applied
+  ///    (dmr_icheck_status).
+  ///
+  /// Throws std::logic_error after the session finished.
+  std::optional<Outcome> check(Mode mode, const Request& request);
+
+  /// A shrink stays pending until the substrate drains the retiring
+  /// ranks' data and calls complete_shrink() (paper: the management node
+  /// collected every ACK) — or gives up with abort_shrink().
+  bool shrink_pending() const;
+  /// Release the draining nodes; no-op when no shrink is pending.
+  void complete_shrink();
+  /// Keep the allocation; no-op when no shrink is pending.
+  void abort_shrink();
+
+  /// Forget the inhibition window (fresh process set after a resize).
+  void reset_inhibitor();
+  void set_inhibitor_period(double period);
+  double inhibitor_period() const;
+
+  Session& session() { return session_; }
+  JobId job() const { return session_.job(); }
+
+ private:
+  Session& session_;
+  ApplyHook on_apply_;
+  mutable std::mutex mu_;
+  Inhibitor inhibitor_;
+  /// Decision negotiated at the previous asynchronous point, to be
+  /// applied at the next one (possibly outdated by then).
+  std::optional<Decision> deferred_;
+  bool shrink_pending_ = false;
+};
+
+}  // namespace dmr

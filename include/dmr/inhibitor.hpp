@@ -6,11 +6,7 @@
 // through NANOX_SCHED_PERIOD; we read DMR_SCHED_PERIOD as the default.
 #pragma once
 
-#include <string>
-
-#include "util/config.hpp"
-
-namespace dmr::rt {
+namespace dmr {
 
 class Inhibitor {
  public:
@@ -18,9 +14,7 @@ class Inhibitor {
   explicit Inhibitor(double period = 0.0) : period_(period) {}
 
   /// Construct from the DMR_SCHED_PERIOD environment variable.
-  static Inhibitor from_env(double fallback = 0.0) {
-    return Inhibitor(util::env_double("DMR_SCHED_PERIOD", fallback));
-  }
+  static Inhibitor from_env(double fallback = 0.0);
 
   double period() const { return period_; }
   void set_period(double period) { period_ = period; }
@@ -45,4 +39,4 @@ class Inhibitor {
   bool armed_ = false;
 };
 
-}  // namespace dmr::rt
+}  // namespace dmr

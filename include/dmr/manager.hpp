@@ -1,0 +1,17 @@
+// The built-in resource manager backend ("our Slurm"), re-exported for
+// API consumers.  `dmr::Manager` is the reference `dmr::Rms`
+// implementation: backfill scheduling, the Algorithm-1 reconfiguration
+// policy and the resizer-job resize protocol.
+#pragma once
+
+#include "dmr/rms.hpp"     // IWYU pragma: export
+#include "dmr/types.hpp"   // IWYU pragma: export
+#include "rms/manager.hpp"  // IWYU pragma: export
+
+namespace dmr {
+
+using rms::Manager;
+using rms::RmsConfig;
+using rms::SchedulerConfig;
+
+}  // namespace dmr

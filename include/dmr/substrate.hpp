@@ -1,0 +1,9 @@
+// The execution substrates underneath the framework, exposed for
+// microbenchmarks and advanced embedders: the threaded MPI-like message
+// universe (smpi) and the discrete-event engine (sim).
+#pragma once
+
+#include "sim/engine.hpp"      // IWYU pragma: export
+#include "smpi/comm.hpp"       // IWYU pragma: export
+#include "smpi/mailbox.hpp"    // IWYU pragma: export
+#include "smpi/universe.hpp"   // IWYU pragma: export

@@ -1,0 +1,152 @@
+// Public value types of the DMR API.
+//
+// These are the canonical definitions of everything the paper's
+// `dmr_check_status` / `dmr_icheck_status` interface exchanges between an
+// application, the runtime and the resource manager: the request an
+// application conveys at a reconfiguring point, the policy decision the
+// RMS takes, and the outcome of applying it.  The internal layers
+// (`dmr::rms`, `dmr::rt`, `dmr::drv`) alias these types rather than
+// defining their own, so a value can cross every layer without
+// conversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+using JobId = std::int64_t;
+constexpr JobId kInvalidJob = -1;
+
+/// How a reconfiguring point talks to the RMS (Section V-A).
+enum class Mode {
+  /// dmr_check_status: negotiate and apply the action in the same call.
+  Sync,
+  /// dmr_icheck_status: apply the action negotiated at the *previous*
+  /// point, then schedule a fresh negotiation; decisions may be outdated
+  /// when applied (Section VIII-C).
+  Async,
+};
+
+enum class Action { None, Expand, Shrink };
+
+std::string to_string(Action action);
+std::string to_string(Mode mode);
+
+/// What a reconfiguring point conveys to the RMS (the DMR API inputs).
+struct Request {
+  int min_procs = 1;
+  int max_procs = 1;
+  int factor = 2;
+  /// 0 = no preference (maximum RMS freedom).
+  int preferred = 0;
+};
+
+/// The reconfiguration policy's verdict (Algorithm 1), before any
+/// resources move.
+struct Decision {
+  Action action = Action::None;
+  /// Target process count when action != None.
+  int new_size = 0;
+  /// Queued job to boost to max priority when shrinking (Algorithm 1,
+  /// line 18); kInvalidJob otherwise.
+  JobId boost_target = kInvalidJob;
+};
+
+/// Result of applying a decision: the resize protocol's side of the
+/// story.
+struct Outcome {
+  Action action = Action::None;
+  /// Granted process count (== allocation after the resize completes).
+  int new_size = 0;
+  /// Expand: node ids added to the job (already attached).
+  std::vector<int> added_nodes;
+  /// Shrink: node ids now draining; released by complete_shrink().
+  std::vector<int> draining_nodes;
+  /// Queued job boosted to max priority by a shrink decision.
+  JobId boosted = kInvalidJob;
+  /// True when the policy granted an action but the resizer-job protocol
+  /// could not obtain the nodes (timeout/abort path of Section V-B1), or
+  /// an asynchronously negotiated decision was already outdated.
+  bool aborted = false;
+};
+
+enum class JobState {
+  Pending,    // queued, waiting for an allocation
+  Running,    // allocated and executing
+  Completed,  // finished normally
+  Cancelled,  // removed before or during execution
+};
+
+std::string to_string(JobState state);
+
+/// Immutable submission-time description of a job.
+struct JobSpec {
+  std::string name;
+  /// Nodes requested at submission (the paper submits every job at its
+  /// user-preferred "fast execution" size).
+  int requested_nodes = 1;
+  /// Malleability bounds (Table I: "Minimum"/"Maximum" processes).
+  int min_nodes = 1;
+  int max_nodes = 1;
+  /// Preferred size conveyed to the RMS at reconfiguring points; 0 means
+  /// "no preference" (gives the RMS full freedom, as in the FS study).
+  int preferred_nodes = 0;
+  /// Resize factor: new sizes must be cur*factor^k or cur/factor^k.
+  int factor = 2;
+  /// Whether the job participates in dynamic reconfiguration.
+  bool flexible = false;
+  /// Wall-clock limit estimate used by the backfill scheduler.
+  double time_limit = 3600.0;
+  /// Base quality-of-service priority component.
+  double qos = 0.0;
+  /// Run only while this job is running (used by resizer jobs).
+  std::optional<JobId> depends_on;
+  /// Resizer jobs are internal bookkeeping helpers, invisible to metrics.
+  bool internal_resizer = false;
+  /// Moldable submission (the paper's future-work extension): instead of
+  /// a rigid `requested_nodes`, the scheduler may start the job with any
+  /// size in [min_nodes, requested_nodes] if that lets it start earlier.
+  bool moldable = false;
+};
+
+/// Read-only job snapshot handed across the API boundary (the public
+/// stand-in for the manager's internal Job record).
+struct JobView {
+  JobId id = kInvalidJob;
+  std::string name;
+  JobState state = JobState::Pending;
+  /// Current allocation size (0 unless running).
+  int allocated = 0;
+  /// Host names of the full current allocation.
+  std::vector<std::string> hosts;
+  /// Hosts that survive a pending shrink (== hosts when none pending).
+  std::vector<std::string> surviving_hosts;
+  bool priority_boost = false;
+  int expansions = 0;
+  int shrinks = 0;
+  double submit_time = 0.0;
+  double start_time = -1.0;
+  double end_time = -1.0;
+
+  bool pending() const { return state == JobState::Pending; }
+  bool running() const { return state == JobState::Running; }
+  bool finished() const {
+    return state == JobState::Completed || state == JobState::Cancelled;
+  }
+};
+
+/// What the application sees at a reconfiguring point: the granted
+/// action plus the node list of the new configuration (the host list
+/// Slurm hands to MPI_Comm_spawn).
+struct ResizeDecision {
+  Action action = Action::None;
+  /// Process count of the new configuration when action != None.
+  int new_size = 0;
+  /// Node names for the new process set.
+  std::vector<std::string> hosts;
+};
+
+}  // namespace dmr

@@ -1,0 +1,11 @@
+// Reporting and configuration utilities used by the examples and the
+// figure/table reproduction benches: ASCII charts and tables, summary
+// statistics, deterministic RNG and key=value / environment parsing.
+#pragma once
+
+#include "util/chart.hpp"   // IWYU pragma: export
+#include "util/config.hpp"  // IWYU pragma: export
+#include "util/log.hpp"     // IWYU pragma: export
+#include "util/rng.hpp"     // IWYU pragma: export
+#include "util/stats.hpp"   // IWYU pragma: export
+#include "util/table.hpp"   // IWYU pragma: export

@@ -1,0 +1,11 @@
+#include "dmr/inhibitor.hpp"
+
+#include "util/config.hpp"
+
+namespace dmr {
+
+Inhibitor Inhibitor::from_env(double fallback) {
+  return Inhibitor(util::env_double("DMR_SCHED_PERIOD", fallback));
+}
+
+}  // namespace dmr

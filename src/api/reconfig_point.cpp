@@ -1,0 +1,79 @@
+#include "dmr/reconfig_point.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "smpi/comm.hpp"
+
+namespace dmr {
+
+ReconfigPoint::ReconfigPoint(Session& session, Request request,
+                             double inhibitor_period)
+    : session_(session),
+      engine_(session, inhibitor_period),
+      request_(request) {}
+
+ResizeDecision ReconfigPoint::negotiate(Mode mode) {
+  ResizeDecision decision;
+  const std::optional<Outcome> outcome = engine_.check(mode, request());
+  if (!outcome || outcome->action == Action::None) return decision;
+  decision.action = outcome->action;
+  decision.new_size = outcome->new_size;
+  // Node list of the post-resize configuration: for expansion the full
+  // (grown) allocation; for shrink the surviving (non-draining) nodes.
+  const JobView info = session_.info();
+  decision.hosts = outcome->action == Action::Shrink ? info.surviving_hosts
+                                                     : info.hosts;
+  return decision;
+}
+
+ResizeDecision ReconfigPoint::broadcast(const smpi::Comm& world,
+                                        ResizeDecision decision) {
+  // Rank 0 holds the authoritative decision; serialize as two broadcasts
+  // (header + host-name blob).
+  std::vector<int> header(3);
+  std::string blob;
+  if (world.rank() == 0) {
+    header[0] = static_cast<int>(decision.action);
+    header[1] = decision.new_size;
+    header[2] = static_cast<int>(decision.hosts.size());
+    std::ostringstream joined;
+    for (const auto& host : decision.hosts) joined << host << '\n';
+    blob = joined.str();
+  }
+  world.bcast(header, 0);
+  std::vector<char> chars(blob.begin(), blob.end());
+  world.bcast(chars, 0);
+  if (world.rank() != 0) {
+    decision.action = static_cast<Action>(header[0]);
+    decision.new_size = header[1];
+    decision.hosts.clear();
+    std::istringstream lines(std::string(chars.begin(), chars.end()));
+    std::string host;
+    while (std::getline(lines, host)) decision.hosts.push_back(host);
+  }
+  return decision;
+}
+
+ResizeDecision ReconfigPoint::check(const smpi::Comm& world, Mode mode) {
+  ResizeDecision decision;
+  if (world.rank() == 0) decision = negotiate(mode);
+  return broadcast(world, decision);
+}
+
+void ReconfigPoint::finish_shrink(const smpi::Comm& world) {
+  // The paper's drain protocol: a management node collects an ACK from
+  // every process confirming its offloads finished, then the nodes are
+  // released.  The world barrier is exactly that all-to-one ACK wave.
+  world.barrier();
+  if (world.rank() == 0) engine_.complete_shrink();
+  world.barrier();
+}
+
+void ReconfigPoint::finish_job(const smpi::Comm& world) {
+  world.barrier();
+  if (world.rank() == 0) session_.finish();
+}
+
+}  // namespace dmr

@@ -1,0 +1,32 @@
+#include "dmr/types.hpp"
+
+namespace dmr {
+
+std::string to_string(Action action) {
+  switch (action) {
+    case Action::None: return "none";
+    case Action::Expand: return "expand";
+    case Action::Shrink: return "shrink";
+  }
+  return "?";
+}
+
+std::string to_string(Mode mode) {
+  switch (mode) {
+    case Mode::Sync: return "sync";
+    case Mode::Async: return "async";
+  }
+  return "?";
+}
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace dmr

@@ -80,14 +80,14 @@ rt::RunReport run_checkpoint_restart(smpi::Universe& universe,
           }
           ctx.world().bcast(header, 0);
         }
-        if (header[0] != static_cast<int>(rms::Action::None)) {
+        if (header[0] != static_cast<int>(Action::None)) {
           if (ctx.rank() == 0) {
             std::lock_guard<std::mutex> lock(control->mu);
             rt::ResizeRecord record;
             record.step = t;
             record.old_size = ctx.size();
             record.new_size = header[1];
-            record.action = static_cast<rms::Action>(header[0]);
+            record.action = static_cast<Action>(header[0]);
             control->report.resizes.push_back(record);
             control->resize_begin = wall_seconds();
           }

@@ -11,6 +11,8 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
     : engine_(engine),
       config_(config),
       manager_(config.rms),
+      connection_(std::make_shared<::dmr::Connection>(
+          manager_, [this] { return engine_.now(); })),
       trace_(engine) {
   manager_.on_start([this](const rms::Job& job) { on_started(job); });
   manager_.on_end([this](const rms::Job& job) {
@@ -46,9 +48,14 @@ void WorkloadDriver::submit(Exec& exec) {
   spec.flexible = exec.plan.flexible;
   spec.moldable = exec.plan.moldable;
   spec.time_limit = exec.plan.time_limit;
-  exec.id = manager_.submit(std::move(spec), engine_.now());
+  exec.session = std::make_unique<::dmr::Session>(connection_);
+  exec.id = exec.session->submit(std::move(spec));
+  const double period = config_.sched_period_override >= 0.0
+                            ? config_.sched_period_override
+                            : exec.plan.model.sched_period;
+  exec.engine = std::make_unique<::dmr::ReconfigEngine>(*exec.session, period);
   by_id_[exec.id] = &exec;
-  manager_.schedule(engine_.now());
+  exec.session->schedule();
 }
 
 void WorkloadDriver::on_started(const rms::Job& job) {
@@ -56,10 +63,6 @@ void WorkloadDriver::on_started(const rms::Job& job) {
   if (it == by_id_.end()) return;  // not one of ours (shouldn't happen)
   Exec& exec = *it->second;
   exec.steps_left = exec.plan.model.iterations;
-  const double period = config_.sched_period_override >= 0.0
-                            ? config_.sched_period_override
-                            : exec.plan.model.sched_period;
-  exec.inhibitor.set_period(period);
   // Defer to a fresh event: this callback fires inside a Manager
   // scheduling pass, and the first reconfiguring point itself mutates the
   // manager (reentrancy hazard otherwise).
@@ -74,21 +77,16 @@ void WorkloadDriver::begin_execution(Exec& exec) {
 
 void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
   if (delay <= 0.0) {
+    // No redistribution to pay for; a zero-cost shrink (no modeled state)
+    // still completes its drain before the next step.
+    exec.engine->complete_shrink();
     schedule_step(exec);
     return;
   }
   engine_.schedule_after(delay, [this, &exec] {
-    const rms::Job& job = manager_.job(exec.id);
     // A shrink's draining nodes are released once the redistribution
-    // (the modeled delay) completes.
-    bool draining = false;
-    for (int node : job.nodes) {
-      if (manager_.cluster().node(node).draining) {
-        draining = true;
-        break;
-      }
-    }
-    if (draining) manager_.complete_shrink(exec.id, engine_.now());
+    // (the modeled delay) completes; no-op otherwise.
+    exec.engine->complete_shrink();
     schedule_step(exec);
   });
 }
@@ -102,7 +100,7 @@ void WorkloadDriver::schedule_step(Exec& exec) {
 void WorkloadDriver::finish_step(Exec& exec) {
   --exec.steps_left;
   if (exec.steps_left <= 0) {
-    manager_.job_finished(exec.id, engine_.now());
+    exec.session->finish();
     return;
   }
   double delay = 0.0;
@@ -126,30 +124,17 @@ double WorkloadDriver::apply_outcome(Exec& exec,
 }
 
 double WorkloadDriver::reconfiguring_point(Exec& exec) {
-  if (!exec.inhibitor.allow(engine_.now())) return 0.0;
-  const double overhead = config_.check_overhead_seconds;
-  if (!config_.asynchronous) {
-    const rms::DmrOutcome outcome =
-        manager_.dmr_check(exec.id, exec.plan.model.request, engine_.now());
-    return overhead + apply_outcome(exec, outcome);
-  }
-  // Asynchronous: apply the decision negotiated at the previous step,
-  // then schedule a fresh negotiation for the next one.
-  // The asynchronous call overlaps negotiation with the next step, so
-  // the per-check overhead is hidden (that is its selling point).
-  double delay = 0.0;
-  if (exec.deferred && exec.deferred->action != rms::Action::None) {
-    const rms::DmrOutcome outcome =
-        manager_.dmr_apply(exec.id, *exec.deferred, engine_.now());
-    delay = apply_outcome(exec, outcome);
-    exec.deferred.reset();
-    if (delay > 0.0) return delay;
-  } else {
-    exec.deferred.reset();
-  }
-  exec.deferred = manager_.dmr_decide(exec.id, exec.plan.model.request,
-                                      engine_.now());
-  return delay;
+  // The negotiate/defer/apply protocol is the shared engine's job; the
+  // driver only prices the result in virtual time.  The asynchronous
+  // call overlaps negotiation with the next step, so the per-check
+  // overhead is hidden (that is its selling point).
+  const auto outcome = exec.engine->check(
+      config_.asynchronous ? ::dmr::Mode::Async : ::dmr::Mode::Sync,
+      exec.plan.model.request);
+  if (!outcome) return 0.0;  // inhibited: the RMS was never contacted
+  const double overhead =
+      config_.asynchronous ? 0.0 : config_.check_overhead_seconds;
+  return overhead + apply_outcome(exec, *outcome);
 }
 
 WorkloadMetrics WorkloadDriver::run() {

@@ -10,14 +10,14 @@
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "apps/models.hpp"
+#include "dmr/engine.hpp"
+#include "dmr/session.hpp"
 #include "drv/cost_model.hpp"
 #include "drv/metrics.hpp"
 #include "rms/manager.hpp"
-#include "rt/inhibitor.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -68,12 +68,15 @@ class WorkloadDriver {
   rms::Manager& manager_mutable() { return manager_; }
 
  private:
+  /// One job's execution state.  The reconfiguring-point protocol lives
+  /// entirely in the shared dmr::ReconfigEngine — the driver only models
+  /// time: step durations, redistribution delays and check overhead.
   struct Exec {
     JobPlan plan;
     rms::JobId id = rms::kInvalidJob;
     int steps_left = 0;
-    rt::Inhibitor inhibitor{0.0};
-    std::optional<rms::PolicyDecision> deferred;  // async mode
+    std::unique_ptr<::dmr::Session> session;
+    std::unique_ptr<::dmr::ReconfigEngine> engine;
   };
 
   void submit(Exec& exec);
@@ -95,6 +98,8 @@ class WorkloadDriver {
   sim::Engine& engine_;
   DriverConfig config_;
   rms::Manager manager_;
+  /// Shared virtual-clock connection all job sessions go through.
+  std::shared_ptr<::dmr::Connection> connection_;
   sim::TraceRecorder trace_;
   std::vector<std::unique_ptr<Exec>> execs_;
   std::map<rms::JobId, Exec*> by_id_;

@@ -4,16 +4,6 @@
 
 namespace dmr::rms {
 
-std::string to_string(JobState state) {
-  switch (state) {
-    case JobState::Pending: return "pending";
-    case JobState::Running: return "running";
-    case JobState::Completed: return "completed";
-    case JobState::Cancelled: return "cancelled";
-  }
-  return "unknown";
-}
-
 std::vector<int> expand_candidates(int current, int factor, int max_nodes) {
   if (current <= 0 || factor < 2) {
     throw std::invalid_argument("expand_candidates: bad arguments");

@@ -6,54 +6,19 @@
 // reconfiguration policy while running.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <string>
 #include <vector>
+
+#include "dmr/types.hpp"
 
 namespace dmr::rms {
 
-using JobId = std::int64_t;
-constexpr JobId kInvalidJob = -1;
-
-enum class JobState {
-  Pending,    // queued, waiting for an allocation
-  Running,    // allocated and executing
-  Completed,  // finished normally
-  Cancelled,  // removed before or during execution
-};
-
-std::string to_string(JobState state);
-
-/// Immutable submission-time description of a job.
-struct JobSpec {
-  std::string name;
-  /// Nodes requested at submission (the paper submits every job at its
-  /// user-preferred "fast execution" size).
-  int requested_nodes = 1;
-  /// Malleability bounds (Table I: "Minimum"/"Maximum" processes).
-  int min_nodes = 1;
-  int max_nodes = 1;
-  /// Preferred size conveyed to the RMS at reconfiguring points; 0 means
-  /// "no preference" (gives the RMS full freedom, as in the FS study).
-  int preferred_nodes = 0;
-  /// Resize factor: new sizes must be cur*factor^k or cur/factor^k.
-  int factor = 2;
-  /// Whether the job participates in dynamic reconfiguration.
-  bool flexible = false;
-  /// Wall-clock limit estimate used by the backfill scheduler.
-  double time_limit = 3600.0;
-  /// Base quality-of-service priority component.
-  double qos = 0.0;
-  /// Run only while this job is running (used by resizer jobs).
-  std::optional<JobId> depends_on;
-  /// Resizer jobs are internal bookkeeping helpers, invisible to metrics.
-  bool internal_resizer = false;
-  /// Moldable submission (the paper's future-work extension): instead of
-  /// a rigid `requested_nodes`, the scheduler may start the job with any
-  /// size in [min_nodes, requested_nodes] if that lets it start earlier.
-  bool moldable = false;
-};
+// The job identity and submission types are part of the public API; the
+// manager internals alias them so values cross the facade unconverted.
+using ::dmr::JobId;
+using ::dmr::kInvalidJob;
+using JobState = ::dmr::JobState;
+using JobSpec = ::dmr::JobSpec;
+using ::dmr::to_string;
 
 /// A job tracked by the manager.
 struct Job {

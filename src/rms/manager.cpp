@@ -366,6 +366,28 @@ void Manager::abort_shrink(JobId id, double now) {
   DMR_DEBUG("rms") << "job " << id << " shrink aborted at t=" << now;
 }
 
+::dmr::JobView Manager::query(JobId id) const {
+  const Job& record = job(id);
+  ::dmr::JobView view;
+  view.id = record.id;
+  view.name = record.spec.name;
+  view.state = record.state;
+  view.allocated = record.allocated();
+  for (int node_id : record.nodes) {
+    view.hosts.push_back(cluster_.node_name(node_id));
+    if (!cluster_.node(node_id).draining) {
+      view.surviving_hosts.push_back(cluster_.node_name(node_id));
+    }
+  }
+  view.priority_boost = record.priority_boost;
+  view.expansions = record.expansions;
+  view.shrinks = record.shrinks;
+  view.submit_time = record.submit_time;
+  view.start_time = record.start_time;
+  view.end_time = record.end_time;
+  return view;
+}
+
 std::vector<const Job*> Manager::pending_snapshot(double now) const {
   std::vector<const Job*> pending;
   for (const auto& [id, job] : jobs_) {

@@ -18,10 +18,9 @@
 
 #include <functional>
 #include <map>
-#include <memory>
-#include <string>
 #include <vector>
 
+#include "dmr/rms.hpp"
 #include "rms/cluster.hpp"
 #include "rms/job.hpp"
 #include "rms/policy.hpp"
@@ -37,56 +36,47 @@ struct RmsConfig {
   bool shrink_priority_boost = true;
 };
 
-/// Result of a DMR reconfiguring-point negotiation.
-struct DmrOutcome {
-  Action action = Action::None;
-  /// Granted process count (== allocation after the resize completes).
-  int new_size = 0;
-  /// Expand: node ids added to the job (already attached).
-  std::vector<int> added_nodes;
-  /// Shrink: node ids now draining; released by complete_shrink().
-  std::vector<int> draining_nodes;
-  /// Queued job boosted to max priority by a shrink decision.
-  JobId boosted = kInvalidJob;
-  /// True when the policy granted an action but the resizer-job protocol
-  /// could not obtain the nodes (timeout/abort path of Section V-B1).
-  bool aborted = false;
-};
+/// Result of a DMR reconfiguring-point negotiation (public API type).
+using DmrOutcome = ::dmr::Outcome;
 
-class Manager {
+/// The reference implementation of the public `dmr::Rms` interface.
+class Manager : public ::dmr::Rms {
  public:
   explicit Manager(RmsConfig config);
 
   // --- job lifecycle -------------------------------------------------------
 
-  JobId submit(JobSpec spec, double now);
-  void cancel(JobId id, double now);
+  JobId submit(JobSpec spec, double now) override;
+  void cancel(JobId id, double now) override;
   /// Slurm-style "update job": change the pending/running node request.
   void update_requested_nodes(JobId id, int nodes, double now);
   /// The job's processes exited; release resources and reschedule.
-  void job_finished(JobId id, double now);
+  void job_finished(JobId id, double now) override;
   /// Run a scheduling pass; returns ids of jobs started (internal resizer
   /// jobs included).
-  std::vector<JobId> schedule(double now);
+  std::vector<JobId> schedule(double now) override;
 
   // --- DMR (Sections IV-V) ---------------------------------------------------
 
   /// Synchronous reconfiguring point: policy decision + immediate
   /// application (dmr_check_status).
-  DmrOutcome dmr_check(JobId id, const DmrRequest& request, double now);
+  DmrOutcome dmr_check(JobId id, const DmrRequest& request,
+                       double now) override;
   /// Policy decision only, no side effects (first half of the
   /// asynchronous dmr_icheck_status: the action is applied at the *next*
   /// reconfiguring point, possibly against a changed system state).
-  PolicyDecision dmr_decide(JobId id, const DmrRequest& request, double now);
+  PolicyDecision dmr_decide(JobId id, const DmrRequest& request,
+                            double now) override;
   /// Apply a previously negotiated action.  Expansion re-runs the resizer
   /// protocol and may abort; shrinking always succeeds.  Reproduces the
   /// paper's "outdated decision" behaviour of Section VIII-C.
-  DmrOutcome dmr_apply(JobId id, const PolicyDecision& decision, double now);
+  DmrOutcome dmr_apply(JobId id, const PolicyDecision& decision,
+                       double now) override;
   /// Complete a shrink after the drain ACKs: releases draining nodes,
   /// reschedules (the boosted job should start here).
-  void complete_shrink(JobId id, double now);
+  void complete_shrink(JobId id, double now) override;
   /// Abort a shrink (failed drain): undrain, keep the allocation.
-  void abort_shrink(JobId id, double now);
+  void abort_shrink(JobId id, double now) override;
 
   // --- protocol pieces (exposed for tests; dmr_check composes them) ---------
 
@@ -98,6 +88,9 @@ class Manager {
   // --- queries ---------------------------------------------------------------
 
   const Job& job(JobId id) const;
+  /// Public-API snapshot of a job (hosts resolved to node names, the
+  /// surviving set excluding draining nodes).
+  ::dmr::JobView query(JobId id) const override;
   const Cluster& cluster() const { return cluster_; }
   int idle_nodes() const { return cluster_.idle(); }
   /// Eligible pending (non-internal) jobs in priority order.

@@ -7,15 +7,6 @@
 
 namespace dmr::rms {
 
-std::string to_string(Action action) {
-  switch (action) {
-    case Action::None: return "none";
-    case Action::Expand: return "expand";
-    case Action::Shrink: return "shrink";
-  }
-  return "unknown";
-}
-
 int max_procs_to(int current, int factor, int limit, int idle_nodes) {
   int best = 0;
   for (int size : expand_candidates(current, factor, limit)) {

@@ -16,22 +16,16 @@
 
 #include <vector>
 
+#include "dmr/types.hpp"
 #include "rms/job.hpp"
 
 namespace dmr::rms {
 
-enum class Action { None, Expand, Shrink };
-
-std::string to_string(Action action);
-
-/// What a reconfiguring point conveys to the RMS (the DMR API inputs).
-struct DmrRequest {
-  int min_procs = 1;
-  int max_procs = 1;
-  int factor = 2;
-  /// 0 = no preference (maximum RMS freedom).
-  int preferred = 0;
-};
+// Aliases of the public API value types (include/dmr/types.hpp): the
+// policy's inputs and verdicts are exactly what crosses the facade.
+using Action = ::dmr::Action;
+using DmrRequest = ::dmr::Request;
+using PolicyDecision = ::dmr::Decision;
 
 struct PolicyView {
   /// The job asking (must be running).
@@ -39,15 +33,6 @@ struct PolicyView {
   int idle_nodes = 0;
   /// Eligible pending jobs in priority order (highest first).
   std::vector<const Job*> pending;
-};
-
-struct PolicyDecision {
-  Action action = Action::None;
-  /// Target process count when action != None.
-  int new_size = 0;
-  /// Queued job to boost to max priority when shrinking (Algorithm 1,
-  /// line 18); kInvalidJob otherwise.
-  JobId boost_target = kInvalidJob;
 };
 
 PolicyDecision reconfiguration_policy(const PolicyView& view,

@@ -1,6 +1,7 @@
 #include "rt/malleable_app.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 
 #include "util/log.hpp"
@@ -24,7 +25,7 @@ double wall_seconds() {
 struct Control : std::enable_shared_from_this<Control> {
   MalleableConfig config;
   StateFactory factory;
-  std::shared_ptr<DmrRuntime> runtime;
+  std::shared_ptr<::dmr::ReconfigPoint> point;
 
   std::mutex mu;
   RunReport report;
@@ -49,15 +50,16 @@ ResizeDecision Control::decide(smpi::Context& ctx, int step) {
       header[1] = forced->new_size;
     }
     ctx.world().bcast(header, 0);
-    if (header[0] == static_cast<int>(rms::Action::None)) return none;
+    if (header[0] == static_cast<int>(Action::None)) return none;
     ResizeDecision decision;
-    decision.action = static_cast<rms::Action>(header[0]);
+    decision.action = static_cast<Action>(header[0]);
     decision.new_size = header[1];
     return decision;
   }
-  if (!runtime) return ResizeDecision{};
-  return config.asynchronous ? runtime->icheck_status(ctx.world())
-                             : runtime->check_status(ctx.world());
+  if (!point) return ResizeDecision{};
+  return point->check(ctx.world(), config.asynchronous
+                                       ? ::dmr::Mode::Async
+                                       : ::dmr::Mode::Sync);
 }
 
 void Control::entry(smpi::Context& ctx) {
@@ -67,9 +69,9 @@ void Control::entry(smpi::Context& ctx) {
     const auto meta = ctx.parent()->recv<int>(0, kMetaTag);
     t0 = meta[0];
     const int old_size = meta[1];
-    const auto action = static_cast<rms::Action>(meta[2]);
+    const auto action = static_cast<Action>(meta[2]);
     state->recv_state(*ctx.parent(), ctx.rank(), old_size, ctx.size());
-    if (action == rms::Action::Shrink && ctx.rank() == 0) {
+    if (action == Action::Shrink && ctx.rank() == 0) {
       // Shrink drain protocol: do not negotiate again until the retiring
       // set released its nodes (the RMS still sees the old allocation).
       (void)ctx.parent()->recv_value<int>(0, kGoTag);
@@ -90,7 +92,7 @@ void Control::entry(smpi::Context& ctx) {
   for (int t = t0; t < config.total_steps; ++t) {
     ResizeDecision decision;
     if (t >= config.first_check_step) decision = decide(ctx, t);
-    if (decision.action != rms::Action::None) {
+    if (decision.action != Action::None) {
       if (ctx.rank() == 0) {
         std::lock_guard<std::mutex> lock(mu);
         ResizeRecord record;
@@ -114,8 +116,8 @@ void Control::entry(smpi::Context& ctx) {
         }
       }
       state->send_state(inter, ctx.rank(), ctx.size(), decision.new_size);
-      if (decision.action == rms::Action::Shrink) {
-        if (runtime) runtime->finish_shrink(ctx.world());
+      if (decision.action == Action::Shrink) {
+        if (point) point->finish_shrink(ctx.world());
         if (ctx.rank() == 0) inter.send_value(0, kGoTag, 1);
       }
       // Old ranks retire; the new communicator continues from step t.
@@ -124,7 +126,7 @@ void Control::entry(smpi::Context& ctx) {
     state->compute_step(ctx.world(), t);
   }
 
-  if (runtime) runtime->finish_job(ctx.world());
+  if (point) point->finish_job(ctx.world());
   ctx.world().barrier();
   if (ctx.rank() == 0) {
     std::lock_guard<std::mutex> lock(mu);
@@ -137,15 +139,14 @@ void Control::entry(smpi::Context& ctx) {
 
 }  // namespace
 
-std::future<RunReport> start_malleable(smpi::Universe& universe,
-                                       std::shared_ptr<DmrRuntime> runtime,
-                                       MalleableConfig config,
-                                       StateFactory factory, int initial_size,
-                                       std::vector<std::string> hosts) {
+std::future<RunReport> start_malleable(
+    smpi::Universe& universe, std::shared_ptr<::dmr::ReconfigPoint> point,
+    MalleableConfig config, StateFactory factory, int initial_size,
+    std::vector<std::string> hosts) {
   auto control = std::make_shared<Control>();
   control->config = std::move(config);
   control->factory = std::move(factory);
-  control->runtime = std::move(runtime);
+  control->point = std::move(point);
   auto future = control->done.get_future();
   universe.launch("malleable", initial_size,
                   [control](smpi::Context& ctx) { control->entry(ctx); },
@@ -154,10 +155,10 @@ std::future<RunReport> start_malleable(smpi::Universe& universe,
 }
 
 RunReport run_malleable(smpi::Universe& universe,
-                        std::shared_ptr<DmrRuntime> runtime,
+                        std::shared_ptr<::dmr::ReconfigPoint> point,
                         MalleableConfig config, StateFactory factory,
                         int initial_size, std::vector<std::string> hosts) {
-  auto future = start_malleable(universe, std::move(runtime),
+  auto future = start_malleable(universe, std::move(point),
                                 std::move(config), std::move(factory),
                                 initial_size, std::move(hosts));
   return future.get();

@@ -10,19 +10,21 @@
 // communicator, exactly as the `taskwait` semantics of Listing 2.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
-#include "rt/dmr_runtime.hpp"
+#include "dmr/reconfig_point.hpp"
 #include "smpi/universe.hpp"
 
 namespace dmr::rt {
+
+using ResizeDecision = ::dmr::ResizeDecision;
 
 /// Application-state interface for malleable execution.
 class AppState {
@@ -65,7 +67,7 @@ using ForcedDecision =
 struct MalleableConfig {
   int total_steps = 1;
   /// The DMR API arguments (min / max / factor / preferred).
-  rms::DmrRequest request;
+  ::dmr::Request request;
   double inhibitor_period = 0.0;
   /// Use dmr_icheck_status instead of dmr_check_status.
   bool asynchronous = false;
@@ -80,7 +82,7 @@ struct ResizeRecord {
   int step = 0;
   int old_size = 0;
   int new_size = 0;
-  rms::Action action = rms::Action::None;
+  Action action = Action::None;
   /// Seconds from "old rank 0 starts the spawn" to "new rank 0 finished
   /// receiving its state" — the paper's "spawning" bar in Fig. 1.
   double spawn_seconds = 0.0;
@@ -95,16 +97,15 @@ struct RunReport {
 
 /// Launch the application on `initial_size` ranks and return a future
 /// that completes when the final process set finishes the last step.
-/// `runtime` may be null when `config.forced_decision` drives resizes.
-std::future<RunReport> start_malleable(smpi::Universe& universe,
-                                       std::shared_ptr<DmrRuntime> runtime,
-                                       MalleableConfig config,
-                                       StateFactory factory, int initial_size,
-                                       std::vector<std::string> hosts = {});
+/// `point` may be null when `config.forced_decision` drives resizes.
+std::future<RunReport> start_malleable(
+    smpi::Universe& universe, std::shared_ptr<::dmr::ReconfigPoint> point,
+    MalleableConfig config, StateFactory factory, int initial_size,
+    std::vector<std::string> hosts = {});
 
 /// Convenience blocking wrapper.
 RunReport run_malleable(smpi::Universe& universe,
-                        std::shared_ptr<DmrRuntime> runtime,
+                        std::shared_ptr<::dmr::ReconfigPoint> point,
                         MalleableConfig config, StateFactory factory,
                         int initial_size,
                         std::vector<std::string> hosts = {});

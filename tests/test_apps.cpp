@@ -124,15 +124,15 @@ TEST(FlexibleSleep, ArraySurvivesExpandShrinkChain) {
   std::atomic<int> validated{0};
   run_app(4, 10,
           [&] { return std::make_unique<FsChecker>(config, 9, validated); },
-          [](int step, int size) -> std::optional<rt::ResizeDecision> {
-            rt::ResizeDecision d;
+          [](int step, int size) -> std::optional<dmr::ResizeDecision> {
+            dmr::ResizeDecision d;
             if (step == 3 && size == 4) {
-              d.action = rms::Action::Expand;
+              d.action = dmr::Action::Expand;
               d.new_size = 6;
               return d;
             }
             if (step == 7 && size == 6) {
-              d.action = rms::Action::Shrink;
+              d.action = dmr::Action::Shrink;
               d.new_size = 3;
               return d;
             }
@@ -149,10 +149,10 @@ TEST(FlexibleSleep, StepCounterTravelsWithData) {
   // the resize the final values would be off by the pre-resize count.
   run_app(2, 6,
           [&] { return std::make_unique<FsChecker>(config, 5, validated); },
-          [](int step, int size) -> std::optional<rt::ResizeDecision> {
+          [](int step, int size) -> std::optional<dmr::ResizeDecision> {
             if (step == 4 && size == 2) {
-              rt::ResizeDecision d;
-              d.action = rms::Action::Expand;
+              dmr::ResizeDecision d;
+              d.action = dmr::Action::Expand;
               d.new_size = 4;
               return d;
             }
@@ -218,15 +218,15 @@ TEST(Cg, SolveSurvivesMidIterationResize) {
   std::atomic<int> validated{0};
   run_app(2, 96,
           [&] { return std::make_unique<CgChecker>(config, 95, validated); },
-          [](int step, int size) -> std::optional<rt::ResizeDecision> {
-            rt::ResizeDecision d;
+          [](int step, int size) -> std::optional<dmr::ResizeDecision> {
+            dmr::ResizeDecision d;
             if (step == 20 && size == 2) {
-              d.action = rms::Action::Expand;
+              d.action = dmr::Action::Expand;
               d.new_size = 6;
               return d;
             }
             if (step == 60 && size == 6) {
-              d.action = rms::Action::Shrink;
+              d.action = dmr::Action::Shrink;
               d.new_size = 3;
               return d;
             }
@@ -289,10 +289,10 @@ TEST(Jacobi, ConvergesAcrossShrink) {
   std::atomic<int> validated{0};
   run_app(4, 80,
           [&] { return std::make_unique<JacobiChecker>(config, 79, validated); },
-          [](int step, int size) -> std::optional<rt::ResizeDecision> {
+          [](int step, int size) -> std::optional<dmr::ResizeDecision> {
             if (step == 30 && size == 4) {
-              rt::ResizeDecision d;
-              d.action = rms::Action::Shrink;
+              dmr::ResizeDecision d;
+              d.action = dmr::Action::Shrink;
               d.new_size = 2;
               return d;
             }
@@ -383,15 +383,15 @@ TEST(Nbody, ResizeDoesNotPerturbTrajectory) {
   std::mutex mu;
   run_app(4, 10,
           [&] { return std::make_unique<NbodyChecker>(config, 9, &parallel, &mu); },
-          [](int step, int size) -> std::optional<rt::ResizeDecision> {
-            rt::ResizeDecision d;
+          [](int step, int size) -> std::optional<dmr::ResizeDecision> {
+            dmr::ResizeDecision d;
             if (step == 3 && size == 4) {
-              d.action = rms::Action::Shrink;
+              d.action = dmr::Action::Shrink;
               d.new_size = 2;
               return d;
             }
             if (step == 6 && size == 2) {
-              d.action = rms::Action::Expand;
+              d.action = dmr::Action::Expand;
               d.new_size = 6;
               return d;
             }

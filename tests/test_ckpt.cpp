@@ -101,10 +101,10 @@ TEST_F(CkptTest, CrResizeGoesThroughDisk) {
   rt::MalleableConfig config;
   config.total_steps = 6;
   config.forced_decision = [](int step, int size)
-      -> std::optional<rt::ResizeDecision> {
+      -> std::optional<dmr::ResizeDecision> {
     if (step == 3 && size == 4) {
-      rt::ResizeDecision d;
-      d.action = rms::Action::Shrink;
+      dmr::ResizeDecision d;
+      d.action = dmr::Action::Shrink;
       d.new_size = 2;
       return d;
     }
@@ -145,10 +145,10 @@ TEST_F(CkptTest, CrPreservesTrajectoryExactly) {
   rt::MalleableConfig run_config;
   run_config.total_steps = 6;
   run_config.forced_decision = [](int step, int size)
-      -> std::optional<rt::ResizeDecision> {
+      -> std::optional<dmr::ResizeDecision> {
     if (step == 2 && size == 3) {
-      rt::ResizeDecision d;
-      d.action = rms::Action::Expand;
+      dmr::ResizeDecision d;
+      d.action = dmr::Action::Expand;
       d.new_size = 4;
       return d;
     }

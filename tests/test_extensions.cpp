@@ -5,7 +5,7 @@
 
 #include "rms/accounting.hpp"
 #include "rms/manager.hpp"
-#include "rt/dmr_runtime.hpp"
+#include "dmr/reconfig_point.hpp"
 #include "smpi/universe.hpp"
 
 namespace {
@@ -242,14 +242,14 @@ TEST(Evolving, SetRequestDrivesForcedExpansion) {
   // size is Algorithm 1's "request an action" mode.
   Manager m(RmsConfig{.nodes = 16, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(m, [&] { return now; });
-  const JobId id = connection.submit(spec("evolving", 4));
-  connection.schedule();
+  dmr::Session session(m, [&] { return now; });
+  const JobId id = session.submit(spec("evolving", 4));
+  session.schedule();
 
   DmrRequest initial;
   initial.min_procs = 4;
   initial.max_procs = 4;  // pinned: no spontaneous resizing
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, id, initial);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, initial);
 
   smpi::Universe universe;
   universe.launch("t", 4, [&](smpi::Context& ctx) {
@@ -276,14 +276,14 @@ TEST(Evolving, SetRequestDrivesForcedExpansion) {
 TEST(Evolving, ForcedShrinkViaMaxBelowCurrent) {
   Manager m(RmsConfig{.nodes = 16, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(m, [&] { return now; });
-  const JobId id = connection.submit(spec("evolving", 8));
-  connection.schedule();
+  dmr::Session session(m, [&] { return now; });
+  const JobId id = session.submit(spec("evolving", 8));
+  session.schedule();
 
   DmrRequest demand;
   demand.min_procs = 1;
   demand.max_procs = 2;  // application no longer scales past 2
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, id, demand);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, demand);
 
   smpi::Universe universe;
   universe.launch("t", 8, [&](smpi::Context& ctx) {

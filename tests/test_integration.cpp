@@ -12,7 +12,9 @@
 
 #include "apps/flexible_sleep.hpp"
 #include "ckpt/cr_runner.hpp"
-#include "rt/dmr_runtime.hpp"
+#include "dmr/manager.hpp"
+#include "dmr/reconfig_point.hpp"
+#include "dmr/session.hpp"
 #include "rt/malleable_app.hpp"
 #include "smpi/universe.hpp"
 
@@ -26,8 +28,8 @@ double wall_now() {
       .count();
 }
 
-rms::JobSpec flex_spec(const std::string& name, int nodes, int max) {
-  rms::JobSpec spec;
+dmr::JobSpec flex_spec(const std::string& name, int nodes, int max) {
+  dmr::JobSpec spec;
   spec.name = name;
   spec.requested_nodes = nodes;
   spec.min_nodes = 1;
@@ -41,21 +43,24 @@ TEST(Integration, SecondJobExpandsIntoNodesFreedByFirst) {
   // A (4 nodes, short) and B (4 nodes, long) fill the 8-node cluster.
   // When A completes, B's next reconfiguring point finds the queue empty
   // and 4 idle nodes: it must expand to 8.
-  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
-  rt::RmsConnection connection(manager, [] { return wall_now(); });
+  dmr::Manager manager(dmr::RmsConfig{.nodes = 8, .scheduler = {}});
+  auto connection =
+      std::make_shared<dmr::Connection>(manager, [] { return wall_now(); });
 
-  const rms::JobId job_a = connection.submit(flex_spec("A", 4, 4));
-  const rms::JobId job_b = connection.submit(flex_spec("B", 4, 8));
-  connection.schedule();
-  ASSERT_TRUE(connection.job_info(job_a).running());
-  ASSERT_TRUE(connection.job_info(job_b).running());
+  dmr::Session session_a(connection);
+  dmr::Session session_b(connection);
+  session_a.submit(flex_spec("A", 4, 4));
+  session_b.submit(flex_spec("B", 4, 8));
+  connection->schedule();
+  ASSERT_TRUE(session_a.info().running());
+  ASSERT_TRUE(session_b.info().running());
 
-  rms::DmrRequest req_a{.min_procs = 1, .max_procs = 4, .factor = 2,
+  dmr::Request req_a{.min_procs = 1, .max_procs = 4, .factor = 2,
                         .preferred = 0};
-  rms::DmrRequest req_b{.min_procs = 1, .max_procs = 8, .factor = 2,
+  dmr::Request req_b{.min_procs = 1, .max_procs = 8, .factor = 2,
                         .preferred = 0};
-  auto runtime_a = std::make_shared<rt::DmrRuntime>(connection, job_a, req_a);
-  auto runtime_b = std::make_shared<rt::DmrRuntime>(connection, job_b, req_b);
+  auto runtime_a = std::make_shared<dmr::ReconfigPoint>(session_a, req_a);
+  auto runtime_b = std::make_shared<dmr::ReconfigPoint>(session_b, req_b);
 
   apps::FlexibleSleepConfig fs_a;
   fs_a.array_elements = 32;
@@ -93,18 +98,21 @@ TEST(Integration, ShrinkHandsNodesToQueuedMalleableJob) {
   // A holds the whole cluster; B queues.  A's reconfiguring point shrinks
   // it (wide optimization, boosting B), B starts on the freed nodes, and
   // both finish.
-  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
-  rt::RmsConnection connection(manager, [] { return wall_now(); });
+  dmr::Manager manager(dmr::RmsConfig{.nodes = 8, .scheduler = {}});
+  auto connection =
+      std::make_shared<dmr::Connection>(manager, [] { return wall_now(); });
 
-  const rms::JobId job_a = connection.submit(flex_spec("A", 8, 8));
-  connection.schedule();
-  const rms::JobId job_b = connection.submit(flex_spec("B", 4, 4));
-  connection.schedule();
-  ASSERT_TRUE(connection.job_info(job_b).pending());
+  dmr::Session session_a(connection);
+  session_a.submit(flex_spec("A", 8, 8));
+  connection->schedule();
+  dmr::Session session_b(connection);
+  session_b.submit(flex_spec("B", 4, 4));
+  connection->schedule();
+  ASSERT_TRUE(session_b.info().pending());
 
-  rms::DmrRequest req{.min_procs = 1, .max_procs = 8, .factor = 2,
+  dmr::Request req{.min_procs = 1, .max_procs = 8, .factor = 2,
                       .preferred = 0};
-  auto runtime_a = std::make_shared<rt::DmrRuntime>(connection, job_a, req);
+  auto runtime_a = std::make_shared<dmr::ReconfigPoint>(session_a, req);
 
   apps::FlexibleSleepConfig fs;
   fs.array_elements = 48;
@@ -121,20 +129,20 @@ TEST(Integration, ShrinkHandsNodesToQueuedMalleableJob) {
   std::atomic<bool> b_started{false};
   std::future<rt::RunReport> future_b;
   for (int spin = 0; spin < 2000; ++spin) {
-    if (connection.job_info(job_b).running()) {
+    if (session_b.info().running()) {
       b_started = true;
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_TRUE(b_started.load()) << "queued job never started";
-  auto runtime_b = std::make_shared<rt::DmrRuntime>(connection, job_b, req);
+  auto runtime_b = std::make_shared<dmr::ReconfigPoint>(session_b, req);
   rt::MalleableConfig config_b;
   config_b.total_steps = 2;
   future_b = rt::start_malleable(
       universe, runtime_b, config_b,
       [fs] { return std::make_unique<apps::FlexibleSleepState>(fs); },
-      connection.job_info(job_b).allocated());
+      session_b.info().allocated);
 
   const auto report_a = future_a.get();
   const auto report_b = future_b.get();
@@ -149,19 +157,19 @@ TEST(Integration, ShrinkHandsNodesToQueuedMalleableJob) {
 }
 
 TEST(Integration, InhibitedJobNeverContactsRmsAgain) {
-  rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
-  rt::RmsConnection connection(manager, [] { return wall_now(); });
-  const rms::JobId job = connection.submit(flex_spec("quiet", 4, 8));
-  connection.schedule();
+  dmr::Manager manager(dmr::RmsConfig{.nodes = 8, .scheduler = {}});
+  dmr::Session session(manager, [] { return wall_now(); });
+  session.submit(flex_spec("quiet", 4, 8));
+  session.schedule();
 
-  rms::DmrRequest req{.min_procs = 1, .max_procs = 8, .factor = 2,
+  dmr::Request req{.min_procs = 1, .max_procs = 8, .factor = 2,
                       .preferred = 4};
   // Preferred == current and a giant inhibitor: the first check returns
   // "no action" (queue empty -> it may expand; use preferred=4... the
   // empty-queue branch expands).  Use max=4 to pin it.
   req.max_procs = 4;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, req,
-                                                  /*inhibitor=*/3600.0);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, req,
+                                                      /*inhibitor=*/3600.0);
 
   apps::FlexibleSleepConfig fs;
   fs.array_elements = 16;
@@ -183,10 +191,10 @@ TEST(Integration, CheckpointAndDmrProduceIdenticalState) {
   // the same global array (C/R is slower, not different).
   apps::FlexibleSleepConfig fs;
   fs.array_elements = 40;
-  auto forced = [](int step, int size) -> std::optional<rt::ResizeDecision> {
+  auto forced = [](int step, int size) -> std::optional<dmr::ResizeDecision> {
     if (step == 2 && size == 4) {
-      rt::ResizeDecision d;
-      d.action = rms::Action::Shrink;
+      dmr::ResizeDecision d;
+      d.action = dmr::Action::Shrink;
       d.new_size = 2;
       return d;
     }

@@ -235,7 +235,9 @@ TEST(SmpiStorm, EveryMessageDeliveredOnceInPairOrder) {
           << "out-of-order from " << from;
     }
     for (int r = 0; r < kRanks; ++r) {
-      if (r != ctx.rank()) EXPECT_EQ(got[static_cast<size_t>(r)], kPerPair);
+      if (r != ctx.rank()) {
+        EXPECT_EQ(got[static_cast<size_t>(r)], kPerPair);
+      }
     }
   });
   universe.await_all();

@@ -6,9 +6,11 @@
 
 #include <atomic>
 
-#include "rt/dmr_runtime.hpp"
-#include "rt/inhibitor.hpp"
+#include "dmr/inhibitor.hpp"
+#include "dmr/manager.hpp"
+#include "dmr/reconfig_point.hpp"
 #include "rt/malleable_app.hpp"
+#include "util/config.hpp"
 #include "rt/redistribute.hpp"
 #include "smpi/universe.hpp"
 
@@ -17,12 +19,12 @@ namespace {
 using namespace dmr;
 
 TEST(Inhibitor, DisabledAllowsEverything) {
-  rt::Inhibitor inhibitor(0.0);
+  dmr::Inhibitor inhibitor(0.0);
   for (double t : {0.0, 0.1, 0.2}) EXPECT_TRUE(inhibitor.allow(t));
 }
 
 TEST(Inhibitor, BlocksWithinPeriod) {
-  rt::Inhibitor inhibitor(5.0);
+  dmr::Inhibitor inhibitor(5.0);
   EXPECT_TRUE(inhibitor.allow(0.0));
   EXPECT_FALSE(inhibitor.allow(2.0));
   EXPECT_FALSE(inhibitor.allow(4.999));
@@ -31,7 +33,7 @@ TEST(Inhibitor, BlocksWithinPeriod) {
 }
 
 TEST(Inhibitor, ResetRearms) {
-  rt::Inhibitor inhibitor(5.0);
+  dmr::Inhibitor inhibitor(5.0);
   EXPECT_TRUE(inhibitor.allow(0.0));
   inhibitor.reset();
   EXPECT_TRUE(inhibitor.allow(1.0));
@@ -39,9 +41,9 @@ TEST(Inhibitor, ResetRearms) {
 
 TEST(Inhibitor, FromEnv) {
   util::set_env("DMR_SCHED_PERIOD", "2.5");
-  EXPECT_DOUBLE_EQ(rt::Inhibitor::from_env().period(), 2.5);
+  EXPECT_DOUBLE_EQ(dmr::Inhibitor::from_env().period(), 2.5);
   util::unset_env("DMR_SCHED_PERIOD");
-  EXPECT_DOUBLE_EQ(rt::Inhibitor::from_env(7.0).period(), 7.0);
+  EXPECT_DOUBLE_EQ(dmr::Inhibitor::from_env(7.0).period(), 7.0);
 }
 
 /// Minimal AppState: a distributed array where element i must equal
@@ -261,7 +263,7 @@ TEST(DmrRuntime, NegotiatedExpandThroughManager) {
   // check_status negotiates an expansion (empty queue -> grow to max).
   rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(manager, [&now] { return now; });
+  dmr::Session session(manager, [&now] { return now; });
 
   rms::JobSpec spec;
   spec.name = "flex";
@@ -269,14 +271,14 @@ TEST(DmrRuntime, NegotiatedExpandThroughManager) {
   spec.min_nodes = 1;
   spec.max_nodes = 8;
   spec.flexible = true;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
-  ASSERT_TRUE(connection.job_info(job).running());
+  const rms::JobId job = session.submit(spec);
+  session.schedule();
+  ASSERT_TRUE(session.info().running());
 
   rms::DmrRequest request;
   request.min_procs = 1;
   request.max_procs = 8;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, request);
 
   smpi::Universe universe;
   rt::MalleableConfig config;
@@ -297,7 +299,7 @@ TEST(DmrRuntime, NegotiatedExpandThroughManager) {
 TEST(DmrRuntime, ShrinkReleasesNodesAndStartsQueuedJob) {
   rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(manager, [&now] { return now; });
+  dmr::Session session(manager, [&now] { return now; });
 
   rms::JobSpec spec;
   spec.name = "flex";
@@ -305,22 +307,23 @@ TEST(DmrRuntime, ShrinkReleasesNodesAndStartsQueuedJob) {
   spec.min_nodes = 1;
   spec.max_nodes = 8;
   spec.flexible = true;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
+  session.submit(spec);
+  session.schedule();
 
+  dmr::Session rigid_session(session.connection());
   rms::JobSpec rigid;
   rigid.name = "rigid";
   rigid.requested_nodes = 4;
   rigid.min_nodes = 4;
   rigid.max_nodes = 4;
-  const rms::JobId queued = connection.submit(rigid);
-  connection.schedule();
-  ASSERT_TRUE(connection.job_info(queued).pending());
+  rigid_session.submit(rigid);
+  rigid_session.schedule();
+  ASSERT_TRUE(rigid_session.info().pending());
 
   rms::DmrRequest request;
   request.min_procs = 1;
   request.max_procs = 8;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, request);
 
   smpi::Universe universe;
   rt::MalleableConfig config;
@@ -332,30 +335,30 @@ TEST(DmrRuntime, ShrinkReleasesNodesAndStartsQueuedJob) {
   ASSERT_TRUE(universe.failures().empty()) << universe.failures()[0];
   // Wide optimization: shrink to 4 so the queued rigid job can start.
   EXPECT_EQ(report.final_size, 4);
-  EXPECT_TRUE(connection.job_info(queued).running());
-  EXPECT_TRUE(connection.job_info(queued).priority_boost ||
-              connection.job_info(queued).running());
+  EXPECT_TRUE(rigid_session.info().running());
+  EXPECT_TRUE(rigid_session.info().priority_boost ||
+              rigid_session.info().running());
   EXPECT_EQ(manager.counters().shrinks, 1);
 }
 
 TEST(DmrRuntime, InhibitorSuppressesNegotiation) {
   rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(manager, [&now] { return now; });
+  dmr::Session session(manager, [&now] { return now; });
   rms::JobSpec spec;
   spec.name = "flex";
   spec.requested_nodes = 2;
   spec.min_nodes = 1;
   spec.max_nodes = 8;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
+  session.submit(spec);
+  session.schedule();
 
   rms::DmrRequest request;
   request.min_procs = 1;
   request.max_procs = 8;
   // Huge inhibitor period: only the first check reaches the manager.
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request,
-                                                  /*inhibitor=*/1e9);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, request,
+                                                      /*inhibitor=*/1e9);
   smpi::Universe universe;
   universe.launch("t", 2, [&](smpi::Context& ctx) {
     // First check: goes through (expand granted: empty queue).
@@ -373,19 +376,19 @@ TEST(DmrRuntime, InhibitorSuppressesNegotiation) {
 TEST(DmrRuntime, AsyncDefersDecisionByOneStep) {
   rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(manager, [&now] { return now; });
+  dmr::Session session(manager, [&now] { return now; });
   rms::JobSpec spec;
   spec.name = "flex";
   spec.requested_nodes = 2;
   spec.min_nodes = 1;
   spec.max_nodes = 8;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
+  const rms::JobId job = session.submit(spec);
+  session.schedule();
 
   rms::DmrRequest request;
   request.min_procs = 1;
   request.max_procs = 8;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, request);
   smpi::Universe universe;
   universe.launch("t", 2, [&](smpi::Context& ctx) {
     // icheck #1: nothing negotiated yet -> None, schedules negotiation.
@@ -404,18 +407,18 @@ TEST(DmrRuntime, AsyncDefersDecisionByOneStep) {
 TEST(DmrRuntime, DecisionBroadcastConsistentAcrossRanks) {
   rms::Manager manager(rms::RmsConfig{.nodes = 8, .scheduler = {}});
   double now = 0.0;
-  rt::RmsConnection connection(manager, [&now] { return now; });
+  dmr::Session session(manager, [&now] { return now; });
   rms::JobSpec spec;
   spec.name = "flex";
   spec.requested_nodes = 4;
   spec.min_nodes = 1;
   spec.max_nodes = 8;
-  const rms::JobId job = connection.submit(spec);
-  connection.schedule();
+  session.submit(spec);
+  session.schedule();
   rms::DmrRequest request;
   request.min_procs = 1;
   request.max_procs = 8;
-  auto runtime = std::make_shared<rt::DmrRuntime>(connection, job, request);
+  auto runtime = std::make_shared<dmr::ReconfigPoint>(session, request);
   smpi::Universe universe;
   std::mutex mu;
   std::vector<int> sizes;

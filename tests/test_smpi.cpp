@@ -209,7 +209,9 @@ TEST(Collectives, ReduceAndAllreduce) {
     const int mine = ctx.rank() + 1;  // 1+2+3+4 = 10
     const int total = ctx.world().reduce(
         mine, [](int a, int b) { return a + b; }, 0);
-    if (ctx.rank() == 0) EXPECT_EQ(total, 10);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(total, 10);
+    }
     EXPECT_EQ(ctx.world().allreduce_sum(mine), 10);
     const int biggest = ctx.world().allreduce(
         mine, [](int a, int b) { return a > b ? a : b; });
