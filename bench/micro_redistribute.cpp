@@ -1,0 +1,188 @@
+// Micro-benchmark of the dmr::redist strategies: plan + execute
+// throughput for each strategy across the canonical resize shapes
+// (grow x2, shrink x2, prime <-> prime), emitting one JSON object per
+// line ("bench JSON") so CI and notebooks can ingest the results.
+//
+// Usage:  micro_redistribute [elements=N] [reps=N] [smoke]
+//   smoke        one repetition over a small array (CI mode)
+//   elements=N   doubles in the Block buffer (default 1M)
+//   reps=N       repetitions per (strategy, shape) pair (default 3)
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dmr/malleable.hpp"
+#include "dmr/redist.hpp"
+#include "dmr/simulation.hpp"
+#include "dmr/util.hpp"
+
+namespace {
+
+using namespace dmr;
+using util::wall_seconds;
+
+struct Shape {
+  const char* kind;
+  int from;
+  int to;
+};
+
+constexpr Shape kShapes[] = {
+    {"grow_x2", 8, 16},
+    {"shrink_x2", 16, 8},
+    {"prime_grow", 7, 13},
+    {"prime_shrink", 13, 7},
+};
+
+/// The buffer set under test: a Block array of doubles (the workload),
+/// a BlockCyclic array of ints and a Replicated header — one buffer per
+/// layout so every code path is exercised.
+struct BenchState {
+  std::vector<double> data;
+  std::vector<int> tags;
+  std::vector<double> header;
+  redist::Registry registry;
+
+  explicit BenchState(std::size_t elements) {
+    registry.add_block("data", data, elements);
+    registry.add_block_cyclic("tags", tags, elements / 2 + 1, /*block=*/64);
+    registry.add_replicated("header", header, 16);
+  }
+
+  void fill(int rank, int parts) {
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      redist::Binding& binding = registry.at(i);
+      const redist::Distribution dist(binding.desc, parts);
+      const auto out = binding.resize(dist.local_count(rank));
+      for (std::size_t b = 0; b < out.size(); ++b) {
+        out[b] = static_cast<std::byte>((i * 89 + b * 13 + 7) % 251);
+      }
+    }
+  }
+};
+
+struct Measurement {
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;
+  std::size_t bytes_moved = 0;
+  std::size_t bytes_total = 0;
+  int transfers = 0;
+  int failures = 0;
+  redist::Report recv_report;
+};
+
+Measurement run_once(redist::Strategy& strategy, const Shape& shape,
+                     std::size_t elements) {
+  Measurement m;
+  // Plan cost, measured separately from execution.
+  {
+    const BenchState prototype(elements);
+    const double start = wall_seconds();
+    std::size_t planned = 0;
+    for (std::size_t i = 0; i < prototype.registry.size(); ++i) {
+      planned += redist::plan_transfers(prototype.registry.at(i).desc,
+                                        shape.from, shape.to)
+                     .size();
+    }
+    m.plan_seconds = wall_seconds() - start;
+    if (planned == 0) std::fprintf(stderr, "warning: empty plan\n");
+  }
+
+  std::mutex mu;
+  redist::Report recv_total;
+  smpi::Universe universe;
+  const double start = wall_seconds();
+  universe.launch("old", shape.from, [&](smpi::Context& ctx) {
+    BenchState state(elements);
+    state.fill(ctx.rank(), shape.from);
+    const auto inter = ctx.spawn(
+        ctx.world(), shape.to, [&](smpi::Context& child) {
+          BenchState fresh(elements);
+          const redist::Endpoint endpoint{&*child.parent(), child.rank(),
+                                          shape.from, shape.to};
+          const redist::Report report =
+              strategy.recv(endpoint, fresh.registry);
+          std::lock_guard<std::mutex> lock(mu);
+          // Concurrent ranks: sum bytes, keep the slowest wall time.
+          recv_total.merge_concurrent(report);
+        });
+    const redist::Endpoint endpoint{&inter, ctx.rank(), shape.from,
+                                    shape.to};
+    (void)strategy.send(endpoint, state.registry);
+  });
+  universe.await_all();
+  m.exec_seconds = wall_seconds() - start;
+  for (const auto& failure : universe.failures()) {
+    std::fprintf(stderr, "rank failure: %s\n", failure.c_str());
+    ++m.failures;
+  }
+  m.bytes_moved = recv_total.bytes_moved;
+  m.bytes_total = recv_total.bytes_total;
+  m.transfers = recv_total.transfers;
+  m.recv_report = recv_total;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t elements = std::size_t(1) << 20;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long value = 0;
+    if (std::strcmp(argv[i], "smoke") == 0) {
+      reps = 1;
+      elements = 1 << 14;
+    } else if (std::sscanf(argv[i], "elements=%llu", &value) == 1) {
+      elements = static_cast<std::size_t>(value);
+    } else if (std::sscanf(argv[i], "reps=%llu", &value) == 1) {
+      reps = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [elements=N] [reps=N] [smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The measured-cost feedback loop: every measured Report calibrates
+  // the simulator's CostModel, whose movement prediction is emitted
+  // next to the measurement it will stand in for.
+  drv::CostModel model;
+  int failures = 0;
+  for (const char* name : {"p2p", "pipelined", "checkpoint"}) {
+    for (const Shape& shape : kShapes) {
+      // One strategy instance per shape so the checkpoint route reuses
+      // its shard directory across reps (as a real store would).
+      const auto strategy = redist::make_strategy(name);
+      for (int rep = 0; rep < reps; ++rep) {
+        const Measurement m = run_once(*strategy, shape, elements);
+        failures += m.failures;
+        model.observe(m.recv_report);
+        model.use_checkpoint_restart = m.recv_report.via_checkpoint;
+        const double model_seconds =
+            model.movement(m.bytes_total, shape.from, shape.to).seconds;
+        const double throughput =
+            m.exec_seconds > 0.0
+                ? static_cast<double>(m.bytes_moved) / m.exec_seconds / 1e6
+                : 0.0;
+        std::printf(
+            "{\"bench\":\"micro_redistribute\",\"strategy\":\"%s\","
+            "\"shape\":\"%s\",\"old\":%d,\"new\":%d,\"elements\":%zu,"
+            "\"rep\":%d,\"bytes_total\":%zu,\"bytes_moved\":%zu,"
+            "\"transfers\":%d,\"plan_seconds\":%.6f,\"exec_seconds\":%.6f,"
+            "\"throughput_mbps\":%.2f,\"model_seconds\":%.6f}\n",
+            name, shape.kind, shape.from, shape.to, elements, rep,
+            m.bytes_total, m.bytes_moved, m.transfers, m.plan_seconds,
+            m.exec_seconds, throughput, model_seconds);
+        std::fflush(stdout);
+      }
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d rank failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

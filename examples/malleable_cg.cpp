@@ -17,40 +17,30 @@ namespace {
 
 using namespace dmr;
 
-/// CG with residual reporting at a few checkpoints.
-class ReportingCg final : public AppState {
+/// CG with residual reporting at a few checkpoints; the Krylov state
+/// travels through the registered buffers it inherits from CgState.
+class ReportingCg final : public apps::CgState {
  public:
-  explicit ReportingCg(apps::CgConfig config) : inner_(config) {}
-  void init(int rank, int nprocs) override { inner_.init(rank, nprocs); }
+  explicit ReportingCg(apps::CgConfig config) : CgState(config) {}
   void compute_step(const smpi::Comm& world, int step) override {
-    inner_.compute_step(world, step);
+    CgState::compute_step(world, step);
     if (step % 16 == 15) {
-      const double residual = inner_.residual_norm2(world);
+      const double residual = residual_norm2(world);
       if (world.rank() == 0) {
         std::printf("[cg] step %3d on %d ranks: ||r||^2 = %.3e\n", step,
                     world.size(), residual);
       }
     }
   }
-  void send_state(const smpi::Comm& i, int r, int o, int n) override {
-    inner_.send_state(i, r, o, n);
-  }
-  void recv_state(const smpi::Comm& p, int r, int o, int n) override {
-    inner_.recv_state(p, r, o, n);
-    if (r == 0) {
-      std::printf("[cg] resized %d -> %d; Krylov state transferred\n", o, n);
+
+ protected:
+  void on_layout_changed(int rank, int nprocs) override {
+    CgState::on_layout_changed(rank, nprocs);
+    if (rank == 0) {
+      std::printf("[cg] resized to %d ranks; Krylov state transferred\n",
+                  nprocs);
     }
   }
-  std::vector<std::byte> serialize_global(const smpi::Comm& w) override {
-    return inner_.serialize_global(w);
-  }
-  void deserialize_global(const smpi::Comm& w,
-                          std::span<const std::byte> b) override {
-    inner_.deserialize_global(w, b);
-  }
-
- private:
-  apps::CgState inner_;
 };
 
 }  // namespace

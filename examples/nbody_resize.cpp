@@ -14,17 +14,18 @@ namespace {
 
 using namespace dmr;
 
-class DiagnosingNbody final : public AppState {
+/// N-body with conserved-quantity reporting; resize support is inherited
+/// from the registered particle buffer.
+class DiagnosingNbody final : public apps::NbodyState {
  public:
   DiagnosingNbody(apps::NbodyConfig config,
                   apps::NbodyDiagnostics* final_diag, std::mutex* mu)
-      : inner_(config), final_diag_(final_diag), mu_(mu) {}
+      : NbodyState(config), final_diag_(final_diag), mu_(mu) {}
 
-  void init(int rank, int nprocs) override { inner_.init(rank, nprocs); }
   void compute_step(const smpi::Comm& world, int step) override {
-    inner_.compute_step(world, step);
+    NbodyState::compute_step(world, step);
     const auto all =
-        world.allgatherv(std::span<const apps::Particle>(inner_.local()));
+        world.allgatherv(std::span<const apps::Particle>(local()));
     const auto diag = apps::nbody_diagnostics(all);
     if (world.rank() == 0) {
       std::printf("[step %2d] %d ranks  p = (%+.12f, %+.12f, %+.12f)  "
@@ -35,22 +36,8 @@ class DiagnosingNbody final : public AppState {
       *final_diag_ = diag;
     }
   }
-  void send_state(const smpi::Comm& i, int r, int o, int n) override {
-    inner_.send_state(i, r, o, n);
-  }
-  void recv_state(const smpi::Comm& p, int r, int o, int n) override {
-    inner_.recv_state(p, r, o, n);
-  }
-  std::vector<std::byte> serialize_global(const smpi::Comm& w) override {
-    return inner_.serialize_global(w);
-  }
-  void deserialize_global(const smpi::Comm& w,
-                          std::span<const std::byte> b) override {
-    inner_.deserialize_global(w, b);
-  }
 
  private:
-  apps::NbodyState inner_;
   apps::NbodyDiagnostics* final_diag_;
   std::mutex* mu_;
 };

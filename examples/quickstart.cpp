@@ -13,22 +13,26 @@
 //
 // Build & run:  ./quickstart
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <numeric>
 
 #include "dmr/dmr.hpp"
 #include "dmr/malleable.hpp"
+#include "dmr/redist.hpp"
 
 namespace {
 
 using namespace dmr;
 
 /// The application state: a block-distributed vector of doubles; each
-/// iteration adds one to every element.
-class Counters final : public AppState {
+/// iteration adds one to every element.  Registering the vector is all
+/// the resize support the application writes — offload, reconstruction
+/// and the checkpoint format are derived from the registration.
+class Counters final : public rt::BufferedAppState {
  public:
-  explicit Counters(std::size_t total) : total_(total) {}
+  explicit Counters(std::size_t total) : total_(total) {
+    registry().add_block("counters", local_, total_);
+  }
 
   void init(int rank, int nprocs) override {
     const BlockDistribution dist(total_, nprocs);
@@ -48,44 +52,10 @@ class Counters final : public AppState {
     }
   }
 
-  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
-                  int new_size) override {
-    send_blocks<double>(inter, my_old_rank, std::span<const double>(local_),
-                        total_, old_size, new_size, /*tag=*/1);
-  }
-
-  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
-                  int new_size) override {
-    local_ = recv_blocks<double>(parent, my_new_rank, total_, old_size,
-                                 new_size, /*tag=*/1);
-    std::printf("[rank %d] joined after resize %d -> %d with %zu elements\n",
-                my_new_rank, old_size, new_size, local_.size());
-  }
-
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
-    std::vector<double> full;
-    world.gatherv(std::span<const double>(local_), full, 0);
-    std::vector<std::byte> bytes;
-    if (world.rank() == 0) {
-      bytes.resize(full.size() * sizeof(double));
-      std::memcpy(bytes.data(), full.data(), bytes.size());
-    }
-    return bytes;
-  }
-
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override {
-    std::vector<std::vector<double>> chunks;
-    if (world.rank() == 0) {
-      const auto* data = reinterpret_cast<const double*>(bytes.data());
-      const BlockDistribution dist(total_, world.size());
-      chunks.resize(static_cast<std::size_t>(world.size()));
-      for (int r = 0; r < world.size(); ++r) {
-        chunks[static_cast<std::size_t>(r)].assign(data + dist.begin(r),
-                                                   data + dist.end(r));
-      }
-    }
-    local_ = world.scatterv(chunks, 0);
+ protected:
+  void on_layout_changed(int rank, int nprocs) override {
+    std::printf("[rank %d/%d] joined after resize with %zu elements\n", rank,
+                nprocs, local_.size());
   }
 
  private:
@@ -125,6 +95,10 @@ int main() {
   request.factor = 2;
   auto point = std::make_shared<ReconfigPoint>(session, request);
 
+  // Pick a redistribution strategy for the job's registered buffers
+  // (p2p is the default; pipelined streams bounded-in-flight chunks).
+  session.set_redist_strategy(redist::make_strategy("pipelined"));
+
   // 4. Run the malleable loop: 6 iterations over 64 elements.
   smpi::Universe universe;
   MalleableConfig config;
@@ -141,10 +115,11 @@ int main() {
               report.final_size, report.steps_executed,
               report.resizes.size());
   for (const auto& resize : report.resizes) {
-    std::printf("  step %d: %s %d -> %d (%.3f ms of non-solving time)\n",
+    std::printf("  step %d: %s %d -> %d (%.3f ms of non-solving time; "
+                "%zu B moved in %d transfers)\n",
                 resize.step, to_string(resize.action).c_str(),
-                resize.old_size, resize.new_size,
-                resize.spawn_seconds * 1e3);
+                resize.old_size, resize.new_size, resize.spawn_seconds * 1e3,
+                resize.bytes_redistributed, resize.redistribution_transfers);
   }
   std::printf("RMS counters: %lld expands, %lld shrinks, %lld checks\n",
               manager.counters().expands, manager.counters().shrinks,

@@ -18,6 +18,7 @@
 #include "dmr/inhibitor.hpp"
 #include "dmr/session.hpp"
 #include "dmr/types.hpp"
+#include "redist/strategy.hpp"
 
 namespace dmr {
 
@@ -59,17 +60,36 @@ class ReconfigEngine {
   void set_inhibitor_period(double period);
   double inhibitor_period() const;
 
+  /// Observer fired (outside the engine lock) for every recorded
+  /// redistribution report — the calibration tap: hosts typically bind
+  /// it to drv::CostModel::observe so simulated resize costs track
+  /// measured movement.
+  using RedistObserver = std::function<void(const redist::Report&)>;
+  void set_redist_observer(RedistObserver observer);
+
+  /// Record the measured (or modeled) cost of one completed
+  /// redistribution.  Substrates call this once per resize; the totals
+  /// feed Outcome reporting and cost-model calibration.
+  void record_redistribution(const redist::Report& report);
+  /// Most recent redistribution report (zeroed before the first resize).
+  redist::Report last_redistribution() const;
+  /// Sum over every redistribution recorded on this engine.
+  redist::Report total_redistribution() const;
+
   Session& session() { return session_; }
   JobId job() const { return session_.job(); }
 
  private:
   Session& session_;
   ApplyHook on_apply_;
+  RedistObserver redist_observer_;
   mutable std::mutex mu_;
   Inhibitor inhibitor_;
   /// Decision negotiated at the previous asynchronous point, to be
   /// applied at the next one (possibly outdated by then).
   std::optional<Decision> deferred_;
+  redist::Report last_redistribution_;
+  redist::Report total_redistribution_;
   bool shrink_pending_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include "dmr/reconfig_point.hpp"  // IWYU pragma: export
 #include "dmr/session.hpp"         // IWYU pragma: export
 #include "dmr/types.hpp"           // IWYU pragma: export
+#include "rt/buffered_state.hpp"   // IWYU pragma: export
 #include "rt/malleable_app.hpp"    // IWYU pragma: export
 #include "rt/redistribute.hpp"     // IWYU pragma: export
 #include "smpi/universe.hpp"       // IWYU pragma: export
@@ -16,6 +17,7 @@
 namespace dmr {
 
 using rt::AppState;
+using rt::BufferedAppState;
 using rt::BlockDistribution;
 using rt::ForcedDecision;
 using rt::MalleableConfig;

@@ -10,6 +10,7 @@
 // conversion.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -71,6 +72,13 @@ struct Outcome {
   /// could not obtain the nodes (timeout/abort path of Section V-B1), or
   /// an asynchronously negotiated decision was already outdated.
   bool aborted = false;
+  /// Data movement attributed to this resize, from the redist::Report.
+  /// The virtual-time substrate stamps these when it prices the resize
+  /// (drv::WorkloadDriver); in real mode the movement happens after the
+  /// outcome is returned, so hosts read it from ResizeRecord or
+  /// ReconfigEngine::last_redistribution() instead.
+  std::size_t bytes_redistributed = 0;
+  double redistribution_seconds = 0.0;
 };
 
 enum class JobState {

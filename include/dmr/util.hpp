@@ -4,6 +4,7 @@
 #pragma once
 
 #include "util/chart.hpp"   // IWYU pragma: export
+#include "util/clock.hpp"   // IWYU pragma: export
 #include "util/config.hpp"  // IWYU pragma: export
 #include "util/log.hpp"     // IWYU pragma: export
 #include "util/rng.hpp"     // IWYU pragma: export

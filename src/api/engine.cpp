@@ -72,6 +72,33 @@ void ReconfigEngine::abort_shrink() {
   session_.abort_shrink();
 }
 
+void ReconfigEngine::set_redist_observer(RedistObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  redist_observer_ = std::move(observer);
+}
+
+void ReconfigEngine::record_redistribution(const redist::Report& report) {
+  RedistObserver observer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_redistribution_ = report;
+    total_redistribution_ += report;
+    observer = redist_observer_;
+  }
+  // Outside the lock: the observer may query the engine.
+  if (observer) observer(report);
+}
+
+redist::Report ReconfigEngine::last_redistribution() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_redistribution_;
+}
+
+redist::Report ReconfigEngine::total_redistribution() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_redistribution_;
+}
+
 void ReconfigEngine::reset_inhibitor() {
   std::lock_guard<std::mutex> lock(mu_);
   inhibitor_.reset();

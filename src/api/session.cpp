@@ -113,6 +113,10 @@ void Session::abort_shrink() { connection_->abort_shrink(require_job()); }
 
 JobView Session::info() const { return connection_->query(require_job()); }
 
+void Session::set_redist_strategy(std::shared_ptr<redist::Strategy> strategy) {
+  redist_strategy_ = std::move(strategy);
+}
+
 void Session::finish() {
   const JobId id = require_job();
   if (finished_.exchange(true)) return;

@@ -1,22 +1,32 @@
 #include "apps/cg.hpp"
 
-#include <cmath>
-#include <cstring>
-#include <stdexcept>
-
 namespace dmr::apps {
 
 namespace {
-constexpr int kScalarTag = 7201;
-constexpr int kMatrixTag = 7202;
-constexpr int kVecTagBase = 7210;  // +0..3 for x, b, r, p
-
 double dot_local(const std::vector<double>& a, const std::vector<double>& b) {
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 }  // namespace
+
+CgState::CgState(CgConfig config) : config_(config) {
+  // Registration order fixes the wire and checkpoint layout: the Krylov
+  // scalar first, then the four vectors, then the matrix (one logical
+  // element = one row of n doubles).
+  registry().add_scalar("rho", rho_);
+  registry().add_block("x", x_, config_.n);
+  registry().add_block("b", b_, config_.n);
+  registry().add_block("r", r_, config_.n);
+  registry().add_block("p", p_, config_.n);
+  registry().add_block("A", matrix_, config_.n, /*items_per_element=*/
+                       config_.n);
+}
+
+void CgState::on_layout_changed(int rank, int nprocs) {
+  my_rank_ = rank;
+  nprocs_ = nprocs;
+}
 
 void cg_matrix_row(std::size_t row, std::size_t n, double* out) {
   for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
@@ -118,112 +128,6 @@ void CgState::compute_step(const smpi::Comm& world, int step) {
   const double beta = rho_next / rho_;
   rho_ = rho_next;
   for (std::size_t i = 0; i < rows; ++i) p_[i] = r_[i] + beta * p_[i];
-}
-
-void CgState::send_state(const smpi::Comm& inter, int my_old_rank,
-                         int old_size, int new_size) {
-  if (my_old_rank == 0) {
-    for (int r = 0; r < new_size; ++r) inter.send_value(r, kScalarTag, rho_);
-  }
-  // The matrix travels as whole rows: element = one row of n doubles.
-  const auto plan = rt::plan_redistribution(config_.n, old_size, new_size);
-  for (const rt::Transfer& t : rt::transfers_from(plan, my_old_rank)) {
-    inter.send(t.dst_rank, kMatrixTag,
-               std::span<const double>(
-                   matrix_.data() + t.src_offset * config_.n,
-                   t.count * config_.n));
-  }
-  const std::vector<double>* vectors[4] = {&x_, &b_, &r_, &p_};
-  for (int v = 0; v < 4; ++v) {
-    rt::send_blocks<double>(inter, my_old_rank,
-                            std::span<const double>(*vectors[v]), config_.n,
-                            old_size, new_size, kVecTagBase + v);
-  }
-}
-
-void CgState::recv_state(const smpi::Comm& parent, int my_new_rank,
-                         int old_size, int new_size) {
-  my_rank_ = my_new_rank;
-  nprocs_ = new_size;
-  rho_ = parent.recv_value<double>(0, kScalarTag);
-  const rt::BlockDistribution dist(config_.n, new_size);
-  matrix_.resize(dist.count(my_new_rank) * config_.n);
-  const auto plan = rt::plan_redistribution(config_.n, old_size, new_size);
-  for (const rt::Transfer& t : rt::transfers_to(plan, my_new_rank)) {
-    const auto rows = parent.recv<double>(t.src_rank, kMatrixTag);
-    if (rows.size() != t.count * config_.n) {
-      throw std::runtime_error("CG: matrix transfer size mismatch");
-    }
-    std::memcpy(matrix_.data() + t.dst_offset * config_.n, rows.data(),
-                rows.size() * sizeof(double));
-  }
-  std::vector<double>* vectors[4] = {&x_, &b_, &r_, &p_};
-  for (int v = 0; v < 4; ++v) {
-    *vectors[v] = rt::recv_blocks<double>(parent, my_new_rank, config_.n,
-                                          old_size, new_size,
-                                          kVecTagBase + v);
-  }
-}
-
-std::vector<std::byte> CgState::serialize_global(const smpi::Comm& world) {
-  // Checkpoint layout: rho, then x | b | r | p (full vectors), then the
-  // matrix row-major.  Rank 0 holds the result.
-  std::vector<double> fx, fb, fr, fp, fm;
-  world.gatherv(std::span<const double>(x_), fx, 0);
-  world.gatherv(std::span<const double>(b_), fb, 0);
-  world.gatherv(std::span<const double>(r_), fr, 0);
-  world.gatherv(std::span<const double>(p_), fp, 0);
-  world.gatherv(std::span<const double>(matrix_), fm, 0);
-  std::vector<std::byte> bytes;
-  if (world.rank() == 0) {
-    const std::size_t doubles =
-        1 + fx.size() + fb.size() + fr.size() + fp.size() + fm.size();
-    bytes.resize(doubles * sizeof(double));
-    auto* out = reinterpret_cast<double*>(bytes.data());
-    *out++ = rho_;
-    for (const auto* vec : {&fx, &fb, &fr, &fp, &fm}) {
-      std::memcpy(out, vec->data(), vec->size() * sizeof(double));
-      out += vec->size();
-    }
-  }
-  return bytes;
-}
-
-void CgState::deserialize_global(const smpi::Comm& world,
-                                 std::span<const std::byte> bytes) {
-  const std::size_t n = config_.n;
-  my_rank_ = world.rank();
-  nprocs_ = world.size();
-  std::vector<std::vector<double>> chunks[5];
-  double rho = 0.0;
-  if (world.rank() == 0) {
-    const std::size_t expected = (1 + 4 * n + n * n) * sizeof(double);
-    if (bytes.size() != expected) {
-      throw std::runtime_error("CG: checkpoint size mismatch");
-    }
-    const auto* in = reinterpret_cast<const double*>(bytes.data());
-    rho = *in++;
-    const rt::BlockDistribution dist(n, world.size());
-    for (int section = 0; section < 4; ++section) {
-      chunks[section].resize(static_cast<std::size_t>(world.size()));
-      for (int r = 0; r < world.size(); ++r) {
-        chunks[section][static_cast<std::size_t>(r)]
-            .assign(in + dist.begin(r), in + dist.end(r));
-      }
-      in += n;
-    }
-    chunks[4].resize(static_cast<std::size_t>(world.size()));
-    for (int r = 0; r < world.size(); ++r) {
-      chunks[4][static_cast<std::size_t>(r)].assign(in + dist.begin(r) * n,
-                                                    in + dist.end(r) * n);
-    }
-  }
-  rho_ = world.bcast_value(rho, 0);
-  x_ = world.scatterv(chunks[0], 0);
-  b_ = world.scatterv(chunks[1], 0);
-  r_ = world.scatterv(chunks[2], 0);
-  p_ = world.scatterv(chunks[3], 0);
-  matrix_ = world.scatterv(chunks[4], 0);
 }
 
 double CgState::residual_norm2(const smpi::Comm& world) const {

@@ -2,15 +2,16 @@
 //
 // Solves A x = b for a dense symmetric positive-definite matrix stored
 // flat and distributed by row blocks; the four vectors (x, b, r, p) are
-// distributed the same way.  These five structures are the OmpSs data
-// dependencies of the paper and are all redistributed on a resize.
+// distributed the same way.  These five structures plus the Krylov
+// scalar rho are the OmpSs data dependencies of the paper — here they
+// are registered buffers (dmr::redist), so resizes and checkpoints move
+// them without any CG-specific wire code.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "rt/malleable_app.hpp"
-#include "rt/redistribute.hpp"
+#include "rt/buffered_state.hpp"
 
 namespace dmr::apps {
 
@@ -30,23 +31,19 @@ void cg_matrix_row(std::size_t row, std::size_t n, double* out);
 /// Dense reference solve via plain (sequential) CG; for oracle tests.
 std::vector<double> cg_reference_solve(std::size_t n, int iterations);
 
-class CgState final : public rt::AppState {
+class CgState : public rt::BufferedAppState {
  public:
-  explicit CgState(CgConfig config) : config_(config) {}
+  explicit CgState(CgConfig config);
 
   void init(int rank, int nprocs) override;
   void compute_step(const smpi::Comm& world, int step) override;
-  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
-                  int new_size) override;
-  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
-                  int new_size) override;
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override;
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override;
 
   /// Global residual norm^2 (collective).
   double residual_norm2(const smpi::Comm& world) const;
   const std::vector<double>& x() const { return x_; }
+
+ protected:
+  void on_layout_changed(int rank, int nprocs) override;
 
  private:
   void build_local(int rank, int nprocs);

@@ -1,15 +1,9 @@
 #include "apps/flexible_sleep.hpp"
 
 #include <chrono>
-#include <cstring>
 #include <thread>
 
 namespace dmr::apps {
-
-namespace {
-constexpr int kDataTag = 7101;
-constexpr int kStepsTag = 7102;
-}  // namespace
 
 void FlexibleSleepState::init(int rank, int nprocs) {
   const rt::BlockDistribution dist(config_.array_elements, nprocs);
@@ -29,64 +23,6 @@ void FlexibleSleepState::compute_step(const smpi::Comm& world, int step) {
   }
   for (double& value : local_) value += 1.0;
   ++steps_done_;
-}
-
-void FlexibleSleepState::send_state(const smpi::Comm& inter, int my_old_rank,
-                                    int old_size, int new_size) {
-  if (my_old_rank == 0) {
-    for (int r = 0; r < new_size; ++r) {
-      inter.send_value(r, kStepsTag, steps_done_);
-    }
-  }
-  rt::send_blocks<double>(inter, my_old_rank,
-                          std::span<const double>(local_),
-                          config_.array_elements, old_size, new_size,
-                          kDataTag);
-}
-
-void FlexibleSleepState::recv_state(const smpi::Comm& parent, int my_new_rank,
-                                    int old_size, int new_size) {
-  steps_done_ = parent.recv_value<int>(0, kStepsTag);
-  local_ = rt::recv_blocks<double>(parent, my_new_rank,
-                                   config_.array_elements, old_size,
-                                   new_size, kDataTag);
-}
-
-std::vector<std::byte> FlexibleSleepState::serialize_global(
-    const smpi::Comm& world) {
-  std::vector<double> full;
-  world.gatherv(std::span<const double>(local_), full, 0);
-  std::vector<std::byte> bytes;
-  if (world.rank() == 0) {
-    bytes.resize(sizeof(int) + full.size() * sizeof(double));
-    std::memcpy(bytes.data(), &steps_done_, sizeof(int));
-    std::memcpy(bytes.data() + sizeof(int), full.data(),
-                full.size() * sizeof(double));
-  }
-  return bytes;
-}
-
-void FlexibleSleepState::deserialize_global(const smpi::Comm& world,
-                                            std::span<const std::byte> bytes) {
-  std::vector<std::vector<double>> chunks;
-  int steps = 0;
-  if (world.rank() == 0) {
-    std::memcpy(&steps, bytes.data(), sizeof(int));
-    const auto* data =
-        reinterpret_cast<const double*>(bytes.data() + sizeof(int));
-    const std::size_t total = (bytes.size() - sizeof(int)) / sizeof(double);
-    if (total != config_.array_elements) {
-      throw std::runtime_error("FlexibleSleep: checkpoint size mismatch");
-    }
-    const rt::BlockDistribution dist(total, world.size());
-    chunks.resize(static_cast<std::size_t>(world.size()));
-    for (int r = 0; r < world.size(); ++r) {
-      chunks[static_cast<std::size_t>(r)].assign(data + dist.begin(r),
-                                                 data + dist.end(r));
-    }
-  }
-  steps_done_ = world.bcast_value(steps, 0);
-  local_ = world.scatterv(chunks, 0);
 }
 
 }  // namespace dmr::apps

@@ -9,8 +9,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "rt/malleable_app.hpp"
-#include "rt/redistribute.hpp"
+#include "rt/buffered_state.hpp"
 
 namespace dmr::apps {
 
@@ -25,20 +24,17 @@ struct FlexibleSleepConfig {
   double fill_base = 1.0;
 };
 
-class FlexibleSleepState final : public rt::AppState {
+class FlexibleSleepState : public rt::BufferedAppState {
  public:
-  explicit FlexibleSleepState(FlexibleSleepConfig config)
-      : config_(config) {}
+  explicit FlexibleSleepState(FlexibleSleepConfig config) : config_(config) {
+    // The replicated step counter travels ahead of the array so a
+    // restored rank can verify against expected().
+    registry().add_scalar("steps", steps_done_);
+    registry().add_block("array", local_, config_.array_elements);
+  }
 
   void init(int rank, int nprocs) override;
   void compute_step(const smpi::Comm& world, int step) override;
-  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
-                  int new_size) override;
-  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
-                  int new_size) override;
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override;
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override;
 
   /// Expected value of global element i after `steps` completed steps
   /// (each step adds 1.0 to every element) — the correctness oracle.

@@ -1,15 +1,21 @@
 #include "apps/jacobi.hpp"
 
 #include <cmath>
-#include <cstring>
-#include <stdexcept>
 
 namespace dmr::apps {
 
-namespace {
-constexpr int kMatrixTag = 7301;
-constexpr int kVecTagBase = 7310;  // +0 x, +1 b
-}  // namespace
+JacobiState::JacobiState(JacobiConfig config) : config_(config) {
+  // Wire/checkpoint order: x, b, then the matrix (element = one row).
+  registry().add_block("x", x_, config_.n);
+  registry().add_block("b", b_, config_.n);
+  registry().add_block("A", matrix_, config_.n, /*items_per_element=*/
+                       config_.n);
+}
+
+void JacobiState::on_layout_changed(int rank, int nprocs) {
+  my_rank_ = rank;
+  nprocs_ = nprocs;
+}
 
 void jacobi_matrix_row(std::size_t row, std::size_t n, double* out) {
   for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
@@ -84,91 +90,6 @@ void JacobiState::compute_step(const smpi::Comm& world, int step) {
     next[i] = (b_[i] - sigma) / row[global_i];
   }
   x_.swap(next);
-}
-
-void JacobiState::send_state(const smpi::Comm& inter, int my_old_rank,
-                             int old_size, int new_size) {
-  const auto plan = rt::plan_redistribution(config_.n, old_size, new_size);
-  for (const rt::Transfer& t : rt::transfers_from(plan, my_old_rank)) {
-    inter.send(t.dst_rank, kMatrixTag,
-               std::span<const double>(
-                   matrix_.data() + t.src_offset * config_.n,
-                   t.count * config_.n));
-  }
-  rt::send_blocks<double>(inter, my_old_rank, std::span<const double>(x_),
-                          config_.n, old_size, new_size, kVecTagBase + 0);
-  rt::send_blocks<double>(inter, my_old_rank, std::span<const double>(b_),
-                          config_.n, old_size, new_size, kVecTagBase + 1);
-}
-
-void JacobiState::recv_state(const smpi::Comm& parent, int my_new_rank,
-                             int old_size, int new_size) {
-  my_rank_ = my_new_rank;
-  nprocs_ = new_size;
-  const rt::BlockDistribution dist(config_.n, new_size);
-  matrix_.resize(dist.count(my_new_rank) * config_.n);
-  const auto plan = rt::plan_redistribution(config_.n, old_size, new_size);
-  for (const rt::Transfer& t : rt::transfers_to(plan, my_new_rank)) {
-    const auto rows = parent.recv<double>(t.src_rank, kMatrixTag);
-    if (rows.size() != t.count * config_.n) {
-      throw std::runtime_error("Jacobi: matrix transfer size mismatch");
-    }
-    std::memcpy(matrix_.data() + t.dst_offset * config_.n, rows.data(),
-                rows.size() * sizeof(double));
-  }
-  x_ = rt::recv_blocks<double>(parent, my_new_rank, config_.n, old_size,
-                               new_size, kVecTagBase + 0);
-  b_ = rt::recv_blocks<double>(parent, my_new_rank, config_.n, old_size,
-                               new_size, kVecTagBase + 1);
-}
-
-std::vector<std::byte> JacobiState::serialize_global(const smpi::Comm& world) {
-  std::vector<double> fx, fb, fm;
-  world.gatherv(std::span<const double>(x_), fx, 0);
-  world.gatherv(std::span<const double>(b_), fb, 0);
-  world.gatherv(std::span<const double>(matrix_), fm, 0);
-  std::vector<std::byte> bytes;
-  if (world.rank() == 0) {
-    bytes.resize((fx.size() + fb.size() + fm.size()) * sizeof(double));
-    auto* out = reinterpret_cast<double*>(bytes.data());
-    for (const auto* vec : {&fx, &fb, &fm}) {
-      std::memcpy(out, vec->data(), vec->size() * sizeof(double));
-      out += vec->size();
-    }
-  }
-  return bytes;
-}
-
-void JacobiState::deserialize_global(const smpi::Comm& world,
-                                     std::span<const std::byte> bytes) {
-  const std::size_t n = config_.n;
-  my_rank_ = world.rank();
-  nprocs_ = world.size();
-  std::vector<std::vector<double>> chunks[3];
-  if (world.rank() == 0) {
-    const std::size_t expected = (2 * n + n * n) * sizeof(double);
-    if (bytes.size() != expected) {
-      throw std::runtime_error("Jacobi: checkpoint size mismatch");
-    }
-    const auto* in = reinterpret_cast<const double*>(bytes.data());
-    const rt::BlockDistribution dist(n, world.size());
-    for (int section = 0; section < 2; ++section) {
-      chunks[section].resize(static_cast<std::size_t>(world.size()));
-      for (int r = 0; r < world.size(); ++r) {
-        chunks[section][static_cast<std::size_t>(r)]
-            .assign(in + dist.begin(r), in + dist.end(r));
-      }
-      in += n;
-    }
-    chunks[2].resize(static_cast<std::size_t>(world.size()));
-    for (int r = 0; r < world.size(); ++r) {
-      chunks[2][static_cast<std::size_t>(r)].assign(in + dist.begin(r) * n,
-                                                    in + dist.end(r) * n);
-    }
-  }
-  x_ = world.scatterv(chunks[0], 0);
-  b_ = world.scatterv(chunks[1], 0);
-  matrix_ = world.scatterv(chunks[2], 0);
 }
 
 double JacobiState::local_error() const {

@@ -2,14 +2,13 @@
 //
 // Same program layout as CG — a flat row-distributed matrix — but only
 // two vectors (x and b); the three structures form the OmpSs data
-// dependencies and are redistributed on resizes.
+// dependencies and travel as registered buffers on resizes.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "rt/malleable_app.hpp"
-#include "rt/redistribute.hpp"
+#include "rt/buffered_state.hpp"
 
 namespace dmr::apps {
 
@@ -24,23 +23,19 @@ void jacobi_matrix_row(std::size_t row, std::size_t n, double* out);
 /// Sequential reference iteration for oracle tests.
 std::vector<double> jacobi_reference_solve(std::size_t n, int iterations);
 
-class JacobiState final : public rt::AppState {
+class JacobiState : public rt::BufferedAppState {
  public:
-  explicit JacobiState(JacobiConfig config) : config_(config) {}
+  explicit JacobiState(JacobiConfig config);
 
   void init(int rank, int nprocs) override;
   void compute_step(const smpi::Comm& world, int step) override;
-  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
-                  int new_size) override;
-  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
-                  int new_size) override;
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override;
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override;
 
   const std::vector<double>& x() const { return x_; }
   /// || x - ones ||_inf over the local block (solution oracle).
   double local_error() const;
+
+ protected:
+  void on_layout_changed(int rank, int nprocs) override;
 
  private:
   void build_local(int rank, int nprocs);

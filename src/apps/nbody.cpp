@@ -1,15 +1,12 @@
 #include "apps/nbody.hpp"
 
 #include <cmath>
-#include <cstring>
 
 #include "util/rng.hpp"
 
 namespace dmr::apps {
 
 namespace {
-constexpr int kParticleTag = 7401;
-
 void accumulate_force(const Particle& on, const Particle& from,
                       double softening, double acc[3]) {
   double d[3];
@@ -97,50 +94,6 @@ void NbodyState::compute_step(const smpi::Comm& world, int step) {
       world.allgatherv(std::span<const Particle>(local_));
   const rt::BlockDistribution dist(config_.particles, world.size());
   step_block(local_, all, dist.begin(world.rank()), config_);
-}
-
-void NbodyState::send_state(const smpi::Comm& inter, int my_old_rank,
-                            int old_size, int new_size) {
-  rt::send_blocks<Particle>(inter, my_old_rank,
-                            std::span<const Particle>(local_),
-                            config_.particles, old_size, new_size,
-                            kParticleTag);
-}
-
-void NbodyState::recv_state(const smpi::Comm& parent, int my_new_rank,
-                            int old_size, int new_size) {
-  local_ = rt::recv_blocks<Particle>(parent, my_new_rank, config_.particles,
-                                     old_size, new_size, kParticleTag);
-}
-
-std::vector<std::byte> NbodyState::serialize_global(const smpi::Comm& world) {
-  std::vector<Particle> all;
-  world.gatherv(std::span<const Particle>(local_), all, 0);
-  std::vector<std::byte> bytes;
-  if (world.rank() == 0) {
-    bytes.resize(all.size() * sizeof(Particle));
-    std::memcpy(bytes.data(), all.data(), bytes.size());
-  }
-  return bytes;
-}
-
-void NbodyState::deserialize_global(const smpi::Comm& world,
-                                    std::span<const std::byte> bytes) {
-  std::vector<std::vector<Particle>> chunks;
-  if (world.rank() == 0) {
-    const std::size_t total = bytes.size() / sizeof(Particle);
-    if (total != config_.particles) {
-      throw std::runtime_error("Nbody: checkpoint size mismatch");
-    }
-    const auto* particles = reinterpret_cast<const Particle*>(bytes.data());
-    const rt::BlockDistribution dist(total, world.size());
-    chunks.resize(static_cast<std::size_t>(world.size()));
-    for (int r = 0; r < world.size(); ++r) {
-      chunks[static_cast<std::size_t>(r)].assign(particles + dist.begin(r),
-                                                 particles + dist.end(r));
-    }
-  }
-  local_ = world.scatterv(chunks, 0);
 }
 
 }  // namespace dmr::apps

@@ -11,8 +11,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "rt/malleable_app.hpp"
-#include "rt/redistribute.hpp"
+#include "rt/buffered_state.hpp"
 
 namespace dmr::apps {
 
@@ -49,19 +48,16 @@ NbodyDiagnostics nbody_diagnostics(const std::vector<Particle>& particles);
 void nbody_reference_step(std::vector<Particle>& particles,
                           const NbodyConfig& config);
 
-class NbodyState final : public rt::AppState {
+class NbodyState : public rt::BufferedAppState {
  public:
-  explicit NbodyState(NbodyConfig config) : config_(config) {}
+  explicit NbodyState(NbodyConfig config) : config_(config) {
+    // The particle array — position, velocity, mass, weight — is the
+    // single registered structure, exactly the paper's data dependency.
+    registry().add_block("particles", local_, config_.particles);
+  }
 
   void init(int rank, int nprocs) override;
   void compute_step(const smpi::Comm& world, int step) override;
-  void send_state(const smpi::Comm& inter, int my_old_rank, int old_size,
-                  int new_size) override;
-  void recv_state(const smpi::Comm& parent, int my_new_rank, int old_size,
-                  int new_size) override;
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override;
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override;
 
   const std::vector<Particle>& local() const { return local_; }
 

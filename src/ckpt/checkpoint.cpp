@@ -42,6 +42,7 @@ void CheckpointStore::write(const std::string& name,
     throw std::runtime_error("CheckpointStore: fsync failed");
   }
   ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
   bytes_written_ += data.size();
   ++writes_;
 }
@@ -65,9 +66,32 @@ std::vector<std::byte> CheckpointStore::read(const std::string& name) const {
     done += static_cast<std::size_t>(n);
   }
   ::close(fd);
-  bytes_read_ += data.size();
-  ++reads_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_read_ += data.size();
+    ++reads_;
+  }
   return data;
+}
+
+std::size_t CheckpointStore::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+std::size_t CheckpointStore::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+
+int CheckpointStore::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+int CheckpointStore::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
 }
 
 bool CheckpointStore::exists(const std::string& name) const {

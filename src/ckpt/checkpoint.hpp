@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,15 +37,17 @@ class CheckpointStore {
   /// Remove every checkpoint in the directory.
   void clear();
 
-  /// Telemetry for benches.
-  std::size_t bytes_written() const { return bytes_written_; }
-  std::size_t bytes_read() const { return bytes_read_; }
-  int writes() const { return writes_; }
-  int reads() const { return reads_; }
+  /// Telemetry for benches.  Counters are mutex-guarded so concurrent
+  /// rank threads (redist::CheckpointRoute) can share one store.
+  std::size_t bytes_written() const;
+  std::size_t bytes_read() const;
+  int writes() const;
+  int reads() const;
 
  private:
   std::filesystem::path path_for(const std::string& name) const;
   CheckpointOptions options_;
+  mutable std::mutex mu_;
   std::size_t bytes_written_ = 0;
   mutable std::size_t bytes_read_ = 0;
   int writes_ = 0;

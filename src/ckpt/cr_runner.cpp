@@ -1,19 +1,16 @@
 #include "ckpt/cr_runner.hpp"
 
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+
+#include "util/clock.hpp"
 
 namespace dmr::ckpt {
 
 namespace {
 
-double wall_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using util::wall_seconds;
 
 /// State shared between the controller and the rank threads across
 /// generations of the C/R job.

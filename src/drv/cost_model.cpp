@@ -16,23 +16,64 @@ double CostModel::migrated_fraction(int old_procs, int new_procs) {
   return static_cast<double>(moved) / static_cast<double>(kNominal);
 }
 
-double CostModel::reconfigure_seconds(std::size_t state_bytes, int old_procs,
-                                      int new_procs) const {
-  const double spawn = spawn_latency + per_proc_spawn * new_procs;
+redist::Report CostModel::movement(std::size_t state_bytes, int old_procs,
+                                   int new_procs) const {
+  redist::Report report;
+  report.bytes_total = state_bytes;
   if (use_checkpoint_restart) {
-    // Full state to disk and back, plus teardown/requeue and relaunch.
-    const double write = static_cast<double>(state_bytes) /
-                         checkpoint_write_bw;
-    const double read = static_cast<double>(state_bytes) /
-                        checkpoint_read_bw;
-    return cr_requeue_latency + spawn + write + read;
+    // Full state to disk and back through the parallel filesystem.
+    report.via_checkpoint = true;
+    report.bytes_moved = 2 * state_bytes;
+    report.transfers = 2;
+    if (measured_checkpoint_bw > 0.0) {
+      report.seconds =
+          static_cast<double>(report.bytes_moved) / measured_checkpoint_bw;
+    } else {
+      report.seconds =
+          static_cast<double>(state_bytes) / checkpoint_write_bw +
+          static_cast<double>(state_bytes) / checkpoint_read_bw;
+    }
+    return report;
   }
   // DMR: only the migrating fraction crosses the network, and transfers
   // proceed in parallel across the participating nodes.
-  const double moved = static_cast<double>(state_bytes) *
-                       migrated_fraction(old_procs, new_procs);
+  report.bytes_moved = static_cast<std::size_t>(
+      static_cast<double>(state_bytes) *
+      migrated_fraction(old_procs, new_procs));
+  report.transfers = old_procs + new_procs;
   const int lanes = std::max(1, std::min(old_procs, new_procs));
-  return spawn + moved / (network_bandwidth * lanes);
+  report.lanes = lanes;
+  const double per_lane =
+      measured_network_bw > 0.0 ? measured_network_bw : network_bandwidth;
+  report.seconds =
+      static_cast<double>(report.bytes_moved) / (per_lane * lanes);
+  return report;
+}
+
+double CostModel::protocol_seconds(int new_procs) const {
+  double seconds = spawn_latency + per_proc_spawn * new_procs;
+  if (use_checkpoint_restart) seconds += cr_requeue_latency;
+  return seconds;
+}
+
+double CostModel::reconfigure_seconds(std::size_t state_bytes, int old_procs,
+                                      int new_procs) const {
+  return protocol_seconds(new_procs) +
+         movement(state_bytes, old_procs, new_procs).seconds;
+}
+
+void CostModel::observe(const redist::Report& report) {
+  double bandwidth = report.bandwidth();
+  if (bandwidth <= 0.0) return;
+  // Network reports are normalized to per-lane terms so an observation
+  // from one resize shape transfers to another; the checkpoint store has
+  // no lane structure.
+  if (!report.via_checkpoint) {
+    bandwidth /= std::max(1, report.lanes);
+  }
+  double& slot =
+      report.via_checkpoint ? measured_checkpoint_bw : measured_network_bw;
+  slot = slot > 0.0 ? 0.5 * slot + 0.5 * bandwidth : bandwidth;
 }
 
 }  // namespace dmr::drv

@@ -5,9 +5,17 @@
 // API moves data rank-to-rank over the interconnect; the C/R baseline
 // routes the full state through stable storage (write + read back), which
 // is where Fig. 1's 31-77x spawn-cost gap comes from.
+//
+// The movement half is expressed as a redist::Report — the same value a
+// real redistribution measures — and the model *calibrates* itself from
+// observed reports (observe()): once a measured effective bandwidth
+// exists it replaces the nominal hardware numbers, so simulated resize
+// costs track real movement instead of hard-coded fractions.
 #pragma once
 
 #include <cstddef>
+
+#include "redist/strategy.hpp"
 
 namespace dmr::drv {
 
@@ -30,10 +38,32 @@ struct CostModel {
   /// redistribution (the C/R ablation).
   bool use_checkpoint_restart = false;
 
-  /// Seconds of non-solving time for resizing `old_procs` -> `new_procs`
-  /// with `state_bytes` of application state.
+  /// Measured bandwidths, EWMA-blended from observed redist::Reports;
+  /// 0 until the first observation, after which they replace the nominal
+  /// figures above.  The network figure is *per lane* (the report's
+  /// aggregate rate divided by its lane count, so it transfers across
+  /// resize shapes); the checkpoint figure is the store's aggregate rate.
+  double measured_network_bw = 0.0;
+  double measured_checkpoint_bw = 0.0;
+
+  /// Modeled data movement for resizing `old_procs` -> `new_procs` with
+  /// `state_bytes` of registered application state — the Report a
+  /// virtual-time substrate "measures" for the resize.
+  redist::Report movement(std::size_t state_bytes, int old_procs,
+                          int new_procs) const;
+
+  /// Seconds of non-solving time for the whole resize: process
+  /// management plus movement().seconds.
   double reconfigure_seconds(std::size_t state_bytes, int old_procs,
                              int new_procs) const;
+
+  /// Spawn/teardown share only (no data movement).
+  double protocol_seconds(int new_procs) const;
+
+  /// Calibrate from a measured report (real-mode runs, micro benches):
+  /// blends the report's effective bandwidth into the matching measured_
+  /// slot.  Reports that moved nothing or were not timed are ignored.
+  void observe(const redist::Report& report);
 
   /// Fraction of the state that crosses node boundaries in a DMR resize
   /// (elements whose owning rank index changes).

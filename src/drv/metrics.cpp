@@ -15,7 +15,10 @@ std::string describe(const WorkloadMetrics& metrics) {
       << "s util=" << metrics.utilization * 100.0 << "%"
       << " wait=" << metrics.wait.mean << "s exec=" << metrics.execution.mean
       << "s completion=" << metrics.completion.mean << "s expands="
-      << metrics.expands << " shrinks=" << metrics.shrinks;
+      << metrics.expands << " shrinks=" << metrics.shrinks
+      << " redistributed="
+      << static_cast<double>(metrics.bytes_redistributed) / (1 << 20)
+      << "MB in " << metrics.redistribution_seconds << "s";
   return out.str();
 }
 

@@ -23,6 +23,10 @@ struct WorkloadMetrics {
   long long shrinks = 0;
   long long checks = 0;
   long long aborted_expands = 0;
+  /// Data moved by all reconfigurations (from the redist::Reports the
+  /// driver records per resize) and the virtual time it cost.
+  std::size_t bytes_redistributed = 0;
+  double redistribution_seconds = 0.0;
 };
 
 /// Percentage gain of `flexible` over `fixed` for a smaller-is-better

@@ -108,8 +108,7 @@ void WorkloadDriver::finish_step(Exec& exec) {
   proceed_after_check(exec, delay);
 }
 
-double WorkloadDriver::apply_outcome(Exec& exec,
-                                     const rms::DmrOutcome& outcome) {
+double WorkloadDriver::apply_outcome(Exec& exec, rms::DmrOutcome& outcome) {
   if (outcome.action == rms::Action::None) return 0.0;
   const rms::Job& job = manager_.job(exec.id);
   // For an expand the allocation has already grown, so the pre-resize
@@ -119,8 +118,19 @@ double WorkloadDriver::apply_outcome(Exec& exec,
       outcome.action == rms::Action::Expand
           ? job.allocated() - static_cast<int>(outcome.added_nodes.size())
           : job.allocated();
-  return config_.cost.reconfigure_seconds(exec.plan.model.state_bytes,
-                                          previous, outcome.new_size);
+  // The modeled movement is the Report this substrate "measures": it
+  // flows into the outcome, the shared engine's totals and the workload
+  // metrics exactly like a real redistribution would.
+  const redist::Report moved = config_.cost.movement(
+      exec.plan.model.state_bytes, previous, outcome.new_size);
+  outcome.bytes_redistributed = moved.bytes_moved;
+  outcome.redistribution_seconds = moved.seconds;
+  exec.engine->record_redistribution(moved);
+  // The stamped outcome is the carrier: workload totals read it back.
+  bytes_redistributed_ += outcome.bytes_redistributed;
+  redistribution_seconds_ += outcome.redistribution_seconds;
+  return config_.cost.protocol_seconds(outcome.new_size) +
+         outcome.redistribution_seconds;
 }
 
 double WorkloadDriver::reconfiguring_point(Exec& exec) {
@@ -128,7 +138,7 @@ double WorkloadDriver::reconfiguring_point(Exec& exec) {
   // driver only prices the result in virtual time.  The asynchronous
   // call overlaps negotiation with the next step, so the per-check
   // overhead is hidden (that is its selling point).
-  const auto outcome = exec.engine->check(
+  auto outcome = exec.engine->check(
       config_.asynchronous ? ::dmr::Mode::Async : ::dmr::Mode::Sync,
       exec.plan.model.request);
   if (!outcome) return 0.0;  // inhibited: the RMS was never contacted
@@ -171,6 +181,8 @@ WorkloadMetrics WorkloadDriver::run() {
   metrics.shrinks = manager_.counters().shrinks;
   metrics.checks = manager_.counters().checks;
   metrics.aborted_expands = manager_.counters().aborted_expands;
+  metrics.bytes_redistributed = bytes_redistributed_;
+  metrics.redistribution_seconds = redistribution_seconds_;
   return metrics;
 }
 

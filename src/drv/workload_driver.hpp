@@ -93,7 +93,9 @@ class WorkloadDriver {
   /// Runs the reconfiguring point; returns the delay before the next
   /// step may start (0 when no action).
   double reconfiguring_point(Exec& exec);
-  double apply_outcome(Exec& exec, const rms::DmrOutcome& outcome);
+  /// Prices the outcome's data movement and stamps its redistribution
+  /// fields from the modeled redist::Report.
+  double apply_outcome(Exec& exec, rms::DmrOutcome& outcome);
 
   sim::Engine& engine_;
   DriverConfig config_;
@@ -104,6 +106,9 @@ class WorkloadDriver {
   std::vector<std::unique_ptr<Exec>> execs_;
   std::map<rms::JobId, Exec*> by_id_;
   int completed_ = 0;
+  /// Workload-wide data-movement totals (from the modeled Reports).
+  std::size_t bytes_redistributed_ = 0;
+  double redistribution_seconds_ = 0.0;
 };
 
 }  // namespace dmr::drv

@@ -1,0 +1,198 @@
+#include "redist/buffer.hpp"
+
+#include <algorithm>
+
+namespace dmr::redist {
+
+std::string to_string(Layout layout) {
+  switch (layout) {
+    case Layout::Block:
+      return "block";
+    case Layout::BlockCyclic:
+      return "block-cyclic";
+    case Layout::Replicated:
+      return "replicated";
+  }
+  return "?";
+}
+
+Distribution::Distribution(const Buffer& desc, int parts)
+    : layout_(desc.layout),
+      total_(desc.count),
+      parts_(parts),
+      block_(desc.block) {
+  if (parts <= 0) {
+    throw std::invalid_argument("Distribution: non-positive parts");
+  }
+  if (layout_ == Layout::BlockCyclic && block_ == 0) {
+    throw std::invalid_argument("Distribution: zero block size");
+  }
+}
+
+std::size_t Distribution::local_count(int rank) const {
+  if (rank < 0 || rank >= parts_) {
+    throw std::out_of_range("Distribution: rank out of range");
+  }
+  switch (layout_) {
+    case Layout::Block:
+      return rt::BlockDistribution(total_, parts_).count(rank);
+    case Layout::Replicated:
+      return total_;
+    case Layout::BlockCyclic: {
+      if (total_ == 0) return 0;
+      const std::size_t nblocks = (total_ + block_ - 1) / block_;
+      const auto parts = static_cast<std::size_t>(parts_);
+      const auto r = static_cast<std::size_t>(rank);
+      const std::size_t owned = nblocks / parts + (r < nblocks % parts);
+      std::size_t count = owned * block_;
+      // The globally-last block may be partial; subtract its padding if
+      // this rank owns it.
+      if ((nblocks - 1) % parts == r) {
+        count -= nblocks * block_ - total_;
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+Distribution::Place Distribution::locate(std::size_t index) const {
+  if (index >= total_) {
+    throw std::out_of_range("Distribution: index out of range");
+  }
+  switch (layout_) {
+    case Layout::Block: {
+      const rt::BlockDistribution dist(total_, parts_);
+      const int rank = dist.owner(index);
+      return {rank, index - dist.begin(rank)};
+    }
+    case Layout::Replicated:
+      // Canonical copy: rank 0 (every rank holds the same bytes).
+      return {0, index};
+    case Layout::BlockCyclic: {
+      const std::size_t b = index / block_;
+      const auto parts = static_cast<std::size_t>(parts_);
+      const int rank = static_cast<int>(b % parts);
+      return {rank, (b / parts) * block_ + index % block_};
+    }
+  }
+  return {};
+}
+
+std::size_t Distribution::run_length(std::size_t index) const {
+  if (index >= total_) {
+    throw std::out_of_range("Distribution: index out of range");
+  }
+  switch (layout_) {
+    case Layout::Block: {
+      const rt::BlockDistribution dist(total_, parts_);
+      return dist.end(dist.owner(index)) - index;
+    }
+    case Layout::Replicated:
+      return total_ - index;
+    case Layout::BlockCyclic:
+      return std::min(total_, (index / block_ + 1) * block_) - index;
+  }
+  return 1;
+}
+
+void Distribution::for_each_local_run(
+    int rank,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (total_ == 0) return;
+  switch (layout_) {
+    case Layout::Block: {
+      const rt::BlockDistribution dist(total_, parts_);
+      if (dist.count(rank) > 0) fn(dist.begin(rank), dist.count(rank));
+      return;
+    }
+    case Layout::Replicated:
+      fn(0, total_);
+      return;
+    case Layout::BlockCyclic: {
+      const std::size_t nblocks = (total_ + block_ - 1) / block_;
+      for (std::size_t b = static_cast<std::size_t>(rank); b < nblocks;
+           b += static_cast<std::size_t>(parts_)) {
+        const std::size_t begin = b * block_;
+        fn(begin, std::min(total_, begin + block_) - begin);
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Transfer> plan_transfers(const Buffer& desc, int old_parts,
+                                     int new_parts) {
+  if (old_parts <= 0 || new_parts <= 0) {
+    throw std::invalid_argument("plan_transfers: non-positive parts");
+  }
+  if (desc.count == 0) return {};
+
+  std::vector<Transfer> plan;
+  if (desc.layout == Layout::Replicated) {
+    // Every new rank needs one full copy; the old ranks all hold
+    // identical bytes, so source duty is spread round-robin.
+    plan.reserve(static_cast<std::size_t>(new_parts));
+    for (int dst = 0; dst < new_parts; ++dst) {
+      plan.push_back({dst % old_parts, dst, 0, 0, desc.count});
+    }
+    return plan;
+  }
+
+  const Distribution src(desc, old_parts);
+  const Distribution dst(desc, new_parts);
+  // March the global index space in runs that stay contiguous in both
+  // layouts, merging adjacent runs between the same rank pair.
+  std::size_t cursor = 0;
+  while (cursor < desc.count) {
+    const Distribution::Place from = src.locate(cursor);
+    const Distribution::Place to = dst.locate(cursor);
+    const std::size_t run =
+        std::min(src.run_length(cursor), dst.run_length(cursor));
+    if (!plan.empty()) {
+      Transfer& back = plan.back();
+      if (back.src_rank == from.rank && back.dst_rank == to.rank &&
+          back.src_offset + back.count == from.offset &&
+          back.dst_offset + back.count == to.offset) {
+        back.count += run;
+        cursor += run;
+        continue;
+      }
+    }
+    plan.push_back({from.rank, to.rank, from.offset, to.offset, run});
+    cursor += run;
+  }
+  return plan;
+}
+
+void Registry::add(Buffer desc,
+                   std::function<std::span<const std::byte>()> read,
+                   std::function<std::span<std::byte>(std::size_t)> resize) {
+  if (desc.name.empty()) {
+    throw std::invalid_argument("Registry: buffer needs a name");
+  }
+  if (desc.elem_size == 0) {
+    throw std::invalid_argument("Registry: zero element size");
+  }
+  if (find(desc.name) != nullptr) {
+    throw std::invalid_argument("Registry: duplicate buffer '" + desc.name +
+                                "'");
+  }
+  bindings_.push_back(
+      Binding{std::move(desc), std::move(read), std::move(resize)});
+}
+
+const Binding* Registry::find(std::string_view name) const {
+  for (const Binding& binding : bindings_) {
+    if (binding.desc.name == name) return &binding;
+  }
+  return nullptr;
+}
+
+std::size_t Registry::total_bytes() const {
+  std::size_t sum = 0;
+  for (const Binding& binding : bindings_) sum += binding.desc.bytes_total();
+  return sum;
+}
+
+}  // namespace dmr::redist

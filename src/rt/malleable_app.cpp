@@ -1,23 +1,19 @@
 #include "rt/malleable_app.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
 
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace dmr::rt {
 
 namespace {
 
+using util::wall_seconds;
+
 constexpr int kMetaTag = 9001;
 constexpr int kGoTag = 9002;
-
-double wall_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Shared control block for one malleable run: survives across process
 /// sets, collects the report, and carries resize timing between the old
@@ -64,6 +60,13 @@ ResizeDecision Control::decide(smpi::Context& ctx, int step) {
 
 void Control::entry(smpi::Context& ctx) {
   auto state = factory();
+  // Pluggable redistribution: an explicitly configured strategy wins,
+  // else whatever was registered on the session travels with the job.
+  if (config.strategy) {
+    state->use_strategy(config.strategy);
+  } else if (point) {
+    state->use_strategy(point->session().redist_strategy());
+  }
   int t0 = 0;
   if (ctx.parent()) {
     const auto meta = ctx.parent()->recv<int>(0, kMetaTag);
@@ -76,10 +79,34 @@ void Control::entry(smpi::Context& ctx) {
       // set released its nodes (the RMS still sees the old allocation).
       (void)ctx.parent()->recv_value<int>(0, kGoTag);
     }
+    // Aggregate the per-rank recv reports into the resize's effective
+    // movement: total bytes over the slowest rank's wall time (the
+    // aggregate bandwidth a cost model wants to observe).  Collective —
+    // every rank of a buffered app participates uniformly.
+    std::optional<redist::Report> moved;
+    if (const redist::Report* mine = state->last_redist_report()) {
+      redist::Report aggregate = *mine;
+      aggregate.bytes_moved = ctx.world().allreduce_sum(mine->bytes_moved);
+      aggregate.transfers = ctx.world().allreduce_sum(mine->transfers);
+      aggregate.seconds = ctx.world().allreduce(
+          mine->seconds, [](double a, double b) { return a > b ? a : b; });
+      moved = aggregate;
+    }
     ctx.world().barrier();
     if (ctx.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mu);
-      report.resizes.back().spawn_seconds = wall_seconds() - resize_begin;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ResizeRecord& record = report.resizes.back();
+        record.spawn_seconds = wall_seconds() - resize_begin;
+        if (moved) {
+          record.bytes_redistributed = moved->bytes_moved;
+          record.redistribution_transfers = moved->transfers;
+          record.redistribution_seconds = moved->seconds;
+        }
+      }
+      // Feed the measured movement back so cost models calibrate from
+      // observation instead of hard-coded fractions.
+      if (moved && point) point->engine().record_redistribution(*moved);
     }
   } else {
     state->init(ctx.rank(), ctx.size());

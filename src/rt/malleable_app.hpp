@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dmr/reconfig_point.hpp"
+#include "redist/strategy.hpp"
 #include "smpi/universe.hpp"
 
 namespace dmr::rt {
@@ -55,6 +56,19 @@ class AppState {
   /// block for the current communicator size.
   virtual void deserialize_global(const smpi::Comm& world,
                                   std::span<const std::byte> bytes) = 0;
+
+  /// Inject the session's redistribution strategy.  No-op for states
+  /// that hand-roll their movement; BufferedAppState routes all
+  /// registered buffers through it.
+  virtual void use_strategy(std::shared_ptr<redist::Strategy> strategy) {
+    (void)strategy;
+  }
+
+  /// Measured cost of this rank's last send_state/recv_state, when the
+  /// state tracks one (BufferedAppState does); nullptr otherwise.
+  virtual const redist::Report* last_redist_report() const {
+    return nullptr;
+  }
 };
 
 using StateFactory = std::function<std::unique_ptr<AppState>()>;
@@ -75,6 +89,9 @@ struct MalleableConfig {
   ForcedDecision forced_decision;
   /// First step at which checks begin (step 0 check usually wasted).
   int first_check_step = 1;
+  /// Redistribution strategy handed to every rank's state; falls back to
+  /// the session's strategy (Session::redist_strategy), then to P2pPlan.
+  std::shared_ptr<redist::Strategy> strategy;
 };
 
 /// One completed resize, with wall-clock timing of the non-solving phase.
@@ -86,6 +103,12 @@ struct ResizeRecord {
   /// Seconds from "old rank 0 starts the spawn" to "new rank 0 finished
   /// receiving its state" — the paper's "spawning" bar in Fig. 1.
   double spawn_seconds = 0.0;
+  /// Measured movement aggregated over the new process set: total bytes
+  /// and transfers received, over the slowest rank's wall time (zero
+  /// when the state does not use registered buffers).
+  std::size_t bytes_redistributed = 0;
+  int redistribution_transfers = 0;
+  double redistribution_seconds = 0.0;
 };
 
 struct RunReport {

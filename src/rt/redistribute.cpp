@@ -16,7 +16,8 @@ std::size_t BlockDistribution::begin(int rank) const {
   if (rank < 0 || rank > parts_) {
     throw std::out_of_range("BlockDistribution: rank out of range");
   }
-  // floor(total * rank / parts): remainder elements go to the low ranks.
+  // floor(total * rank / parts): remainder elements go to the high ranks;
+  // ranks own zero elements when total < parts.
   return total_ * static_cast<std::size_t>(rank) /
          static_cast<std::size_t>(parts_);
 }
@@ -38,6 +39,11 @@ int BlockDistribution::owner(std::size_t index) const {
 
 std::vector<Transfer> plan_redistribution(std::size_t total, int old_parts,
                                           int new_parts) {
+  // Validate the geometry before the early-outs so every degenerate call
+  // fails (or succeeds) the same way regardless of `total`.
+  if (old_parts <= 0 || new_parts <= 0) {
+    throw std::invalid_argument("plan_redistribution: non-positive parts");
+  }
   if (total == 0) return {};
   const BlockDistribution old_dist(total, old_parts);
   const BlockDistribution new_dist(total, new_parts);

@@ -18,7 +18,8 @@ namespace dmr::rt {
 
 /// Balanced contiguous block distribution of `total` elements over
 /// `parts` ranks: rank r owns [begin(r), end(r)), sizes differing by at
-/// most one element (MPI convention: remainder spread over lowest ranks).
+/// most one element (floor formula: remainder lands on the high ranks;
+/// ranks may own zero elements when total < parts).
 class BlockDistribution {
  public:
   BlockDistribution(std::size_t total, int parts);

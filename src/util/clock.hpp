@@ -1,0 +1,16 @@
+// Wall-clock helper shared by everything that measures real elapsed
+// time (resize spawns, redistribution strategies, benches).
+#pragma once
+
+#include <chrono>
+
+namespace dmr::util {
+
+/// Seconds on a monotonic clock; differences are wall durations.
+inline double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dmr::util

@@ -76,43 +76,28 @@ void run_app(int nprocs, int steps, rt::StateFactory factory,
 
 // --- Flexible Sleep -----------------------------------------------------------
 
-class FsChecker final : public rt::AppState {
+class FsChecker final : public FlexibleSleepState {
  public:
   FsChecker(FlexibleSleepConfig config, int last_step,
             std::atomic<int>& validated)
-      : state_(config), config_(config), last_step_(last_step),
+      : FlexibleSleepState(config), config_(config), last_step_(last_step),
         validated_(validated) {}
-  void init(int rank, int nprocs) override { state_.init(rank, nprocs); }
   void compute_step(const smpi::Comm& world, int step) override {
-    state_.compute_step(world, step);
+    FlexibleSleepState::compute_step(world, step);
     if (step == last_step_) {
       const rt::BlockDistribution dist(config_.array_elements, world.size());
       int bad = 0;
-      for (std::size_t i = 0; i < state_.local().size(); ++i) {
-        const double expected =
-            state_.expected(dist.begin(world.rank()) + i, step + 1);
-        if (state_.local()[i] != expected) ++bad;
+      for (std::size_t i = 0; i < local().size(); ++i) {
+        const double want =
+            expected(dist.begin(world.rank()) + i, step + 1);
+        if (local()[i] != want) ++bad;
       }
       EXPECT_EQ(world.allreduce_sum(bad), 0);
       ++validated_;
     }
   }
-  void send_state(const smpi::Comm& inter, int r, int o, int n) override {
-    state_.send_state(inter, r, o, n);
-  }
-  void recv_state(const smpi::Comm& parent, int r, int o, int n) override {
-    state_.recv_state(parent, r, o, n);
-  }
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
-    return state_.serialize_global(world);
-  }
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override {
-    state_.deserialize_global(world, bytes);
-  }
 
  private:
-  FlexibleSleepState state_;
   FlexibleSleepConfig config_;
   int last_step_;
   std::atomic<int>& validated_;
@@ -163,40 +148,25 @@ TEST(FlexibleSleep, StepCounterTravelsWithData) {
 
 // --- CG -----------------------------------------------------------------------
 
-class CgChecker final : public rt::AppState {
+class CgChecker final : public CgState {
  public:
   CgChecker(CgConfig config, int last_step, std::atomic<int>& validated)
-      : state_(config), last_step_(last_step), validated_(validated) {}
-  void init(int rank, int nprocs) override { state_.init(rank, nprocs); }
+      : CgState(config), last_step_(last_step), validated_(validated) {}
   void compute_step(const smpi::Comm& world, int step) override {
-    state_.compute_step(world, step);
+    CgState::compute_step(world, step);
     if (step == last_step_) {
       // After enough iterations CG's solution is the ones vector.
       int bad = 0;
-      for (double v : state_.x()) {
+      for (double v : x()) {
         if (std::fabs(v - 1.0) > 1e-6) ++bad;
       }
       EXPECT_EQ(world.allreduce_sum(bad), 0);
-      EXPECT_LT(state_.residual_norm2(world), 1e-10);
+      EXPECT_LT(residual_norm2(world), 1e-10);
       ++validated_;
     }
   }
-  void send_state(const smpi::Comm& inter, int r, int o, int n) override {
-    state_.send_state(inter, r, o, n);
-  }
-  void recv_state(const smpi::Comm& parent, int r, int o, int n) override {
-    state_.recv_state(parent, r, o, n);
-  }
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
-    return state_.serialize_global(world);
-  }
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override {
-    state_.deserialize_global(world, bytes);
-  }
 
  private:
-  CgState state_;
   int last_step_;
   std::atomic<int>& validated_;
 };
@@ -237,38 +207,22 @@ TEST(Cg, SolveSurvivesMidIterationResize) {
 
 // --- Jacobi ---------------------------------------------------------------------
 
-class JacobiChecker final : public rt::AppState {
+class JacobiChecker final : public JacobiState {
  public:
   JacobiChecker(JacobiConfig config, int last_step,
                 std::atomic<int>& validated)
-      : state_(config), last_step_(last_step), validated_(validated) {}
-  void init(int rank, int nprocs) override { state_.init(rank, nprocs); }
+      : JacobiState(config), last_step_(last_step), validated_(validated) {}
   void compute_step(const smpi::Comm& world, int step) override {
-    state_.compute_step(world, step);
+    JacobiState::compute_step(world, step);
     if (step == last_step_) {
       const double err = world.allreduce(
-          state_.local_error(),
-          [](double a, double b) { return a > b ? a : b; });
+          local_error(), [](double a, double b) { return a > b ? a : b; });
       EXPECT_LT(err, 1e-8);
       ++validated_;
     }
   }
-  void send_state(const smpi::Comm& inter, int r, int o, int n) override {
-    state_.send_state(inter, r, o, n);
-  }
-  void recv_state(const smpi::Comm& parent, int r, int o, int n) override {
-    state_.recv_state(parent, r, o, n);
-  }
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
-    return state_.serialize_global(world);
-  }
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override {
-    state_.deserialize_global(world, bytes);
-  }
 
  private:
-  JacobiState state_;
   int last_step_;
   std::atomic<int>& validated_;
 };
@@ -303,40 +257,24 @@ TEST(Jacobi, ConvergesAcrossShrink) {
 
 // --- N-body ----------------------------------------------------------------------
 
-class NbodyChecker final : public rt::AppState {
+class NbodyChecker final : public NbodyState {
  public:
   NbodyChecker(NbodyConfig config, int last_step,
                std::vector<Particle>* final_particles, std::mutex* mu)
-      : state_(config), last_step_(last_step),
+      : NbodyState(config), last_step_(last_step),
         final_particles_(final_particles), mu_(mu) {}
-  void init(int rank, int nprocs) override { state_.init(rank, nprocs); }
   void compute_step(const smpi::Comm& world, int step) override {
-    state_.compute_step(world, step);
+    NbodyState::compute_step(world, step);
     if (step == last_step_) {
-      const auto all =
-          world.allgatherv(std::span<const Particle>(state_.local()));
+      const auto all = world.allgatherv(std::span<const Particle>(local()));
       if (world.rank() == 0) {
         std::lock_guard<std::mutex> lock(*mu_);
         *final_particles_ = all;
       }
     }
   }
-  void send_state(const smpi::Comm& inter, int r, int o, int n) override {
-    state_.send_state(inter, r, o, n);
-  }
-  void recv_state(const smpi::Comm& parent, int r, int o, int n) override {
-    state_.recv_state(parent, r, o, n);
-  }
-  std::vector<std::byte> serialize_global(const smpi::Comm& world) override {
-    return state_.serialize_global(world);
-  }
-  void deserialize_global(const smpi::Comm& world,
-                          std::span<const std::byte> bytes) override {
-    state_.deserialize_global(world, bytes);
-  }
 
  private:
-  NbodyState state_;
   int last_step_;
   std::vector<Particle>* final_particles_;
   std::mutex* mu_;

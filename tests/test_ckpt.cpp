@@ -155,39 +155,24 @@ TEST_F(CkptTest, CrPreservesTrajectoryExactly) {
     return std::nullopt;
   };
 
-  // Capture the final particles through a checker wrapper.
-  struct Capture final : public rt::AppState {
-    apps::NbodyState inner;
+  // Capture the final particles through a checker subclass.
+  struct Capture final : public apps::NbodyState {
     std::vector<apps::Particle>* out;
     std::mutex* mu;
     int last;
     Capture(apps::NbodyConfig c, std::vector<apps::Particle>* o,
             std::mutex* m, int l)
-        : inner(c), out(o), mu(m), last(l) {}
-    void init(int r, int n) override { inner.init(r, n); }
+        : NbodyState(c), out(o), mu(m), last(l) {}
     void compute_step(const smpi::Comm& w, int s) override {
-      inner.compute_step(w, s);
+      NbodyState::compute_step(w, s);
       if (s == last) {
         const auto all =
-            w.allgatherv(std::span<const apps::Particle>(inner.local()));
+            w.allgatherv(std::span<const apps::Particle>(local()));
         if (w.rank() == 0) {
           std::lock_guard<std::mutex> lock(*mu);
           *out = all;
         }
       }
-    }
-    void send_state(const smpi::Comm& i, int r, int o, int n) override {
-      inner.send_state(i, r, o, n);
-    }
-    void recv_state(const smpi::Comm& p, int r, int o, int n) override {
-      inner.recv_state(p, r, o, n);
-    }
-    std::vector<std::byte> serialize_global(const smpi::Comm& w) override {
-      return inner.serialize_global(w);
-    }
-    void deserialize_global(const smpi::Comm& w,
-                            std::span<const std::byte> b) override {
-      inner.deserialize_global(w, b);
     }
   };
 

@@ -28,10 +28,13 @@ TEST(Metrics, DescribeContainsKeyNumbers) {
   metrics.makespan = 123.0;
   metrics.expands = 3;
   metrics.shrinks = 4;
+  metrics.bytes_redistributed = std::size_t(6) << 20;
+  metrics.redistribution_seconds = 1.5;
   const std::string text = drv::describe(metrics);
   EXPECT_NE(text.find("jobs=7"), std::string::npos);
   EXPECT_NE(text.find("123"), std::string::npos);
   EXPECT_NE(text.find("expands=3"), std::string::npos);
+  EXPECT_NE(text.find("redistributed=6MB"), std::string::npos);
 }
 
 TEST(CostModel, DegenerateSingleRank) {
@@ -107,6 +110,18 @@ TEST(Driver, FlexibleLoneJobExpandsAndFinishesFaster) {
   // Perfect scaling: expanding 2 -> 8 cuts step time 4x; even with the
   // reconfiguration overhead the makespan must beat the fixed 100 s.
   EXPECT_LT(metrics.makespan, 70.0);
+  // Every resize records its modeled redist::Report into the metrics.
+  EXPECT_GT(metrics.bytes_redistributed, 0u);
+  EXPECT_GT(metrics.redistribution_seconds, 0.0);
+}
+
+TEST(Driver, RigidWorkloadMovesNoBytes) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(0.0, 4, 40.0, 2, /*flexible=*/false));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_EQ(metrics.bytes_redistributed, 0u);
+  EXPECT_EQ(metrics.redistribution_seconds, 0.0);
 }
 
 TEST(Driver, QueuedJobTriggersShrinkOfRunningJob) {

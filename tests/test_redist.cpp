@@ -1,0 +1,493 @@
+// dmr::redist subsystem tests: distribution arithmetic for every layout,
+// exactly-once planning, registry bookkeeping, and the strategy-parity
+// property — P2pPlan, PipelinedChunks and CheckpointRoute must all
+// produce bit-identical buffer contents after an arbitrary P -> Q resize.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <random>
+
+#include "dmr/dmr.hpp"
+#include "dmr/redist.hpp"
+#include "drv/cost_model.hpp"
+#include "smpi/universe.hpp"
+
+namespace {
+
+using namespace dmr;
+using namespace dmr::redist;
+
+// --- Distribution -----------------------------------------------------------
+
+Buffer make_desc(Layout layout, std::size_t count, std::size_t elem_size = 8,
+                 std::size_t block = 1) {
+  Buffer desc;
+  desc.name = "buf";
+  desc.elem_size = elem_size;
+  desc.count = count;
+  desc.layout = layout;
+  desc.block = block;
+  return desc;
+}
+
+TEST(Distribution, BlockMatchesBlockDistribution) {
+  const Distribution dist(make_desc(Layout::Block, 100), 7);
+  const rt::BlockDistribution ref(100, 7);
+  for (int r = 0; r < 7; ++r) EXPECT_EQ(dist.local_count(r), ref.count(r));
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto place = dist.locate(i);
+    EXPECT_EQ(place.rank, ref.owner(i));
+    EXPECT_EQ(place.offset, i - ref.begin(place.rank));
+  }
+}
+
+TEST(Distribution, BlockCyclicCountsSumToTotal) {
+  for (std::size_t total : {0u, 1u, 7u, 64u, 100u}) {
+    for (int parts : {1, 2, 3, 5}) {
+      for (std::size_t block : {1u, 3u, 8u, 200u}) {
+        const Distribution dist(
+            make_desc(Layout::BlockCyclic, total, 8, block), parts);
+        std::size_t sum = 0;
+        for (int r = 0; r < parts; ++r) sum += dist.local_count(r);
+        EXPECT_EQ(sum, total) << "total=" << total << " parts=" << parts
+                              << " block=" << block;
+      }
+    }
+  }
+}
+
+TEST(Distribution, BlockCyclicLocateRoundTrips) {
+  const std::size_t total = 53, block = 4;
+  const int parts = 3;
+  const Distribution dist(make_desc(Layout::BlockCyclic, total, 8, block),
+                          parts);
+  // Walk each rank's local runs; together they must cover every index
+  // exactly once and agree with locate().
+  std::vector<int> covered(total, 0);
+  for (int r = 0; r < parts; ++r) {
+    std::size_t local = 0;
+    dist.for_each_local_run(r, [&](std::size_t global, std::size_t elems) {
+      for (std::size_t k = 0; k < elems; ++k) {
+        const auto place = dist.locate(global + k);
+        EXPECT_EQ(place.rank, r);
+        EXPECT_EQ(place.offset, local);
+        ++covered[global + k];
+        ++local;
+      }
+    });
+    EXPECT_EQ(local, dist.local_count(r));
+  }
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(covered[i], 1);
+}
+
+TEST(Distribution, ReplicatedHoldsEverythingEverywhere) {
+  const Distribution dist(make_desc(Layout::Replicated, 12), 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(dist.local_count(r), 12u);
+  EXPECT_EQ(dist.locate(5).rank, 0);
+  EXPECT_EQ(dist.locate(5).offset, 5u);
+}
+
+// --- plan_transfers ---------------------------------------------------------
+
+TEST(PlanTransfers, EveryElementMovesExactlyOnce) {
+  // The acceptance property for P2pPlan's plans: for distributing
+  // layouts, transfers partition the global index space.
+  std::mt19937 rng(20170731);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t total = rng() % 120;
+    const int old_parts = 1 + static_cast<int>(rng() % 6);
+    const int new_parts = 1 + static_cast<int>(rng() % 6);
+    const Layout layout =
+        (trial % 2 == 0) ? Layout::Block : Layout::BlockCyclic;
+    const std::size_t block = 1 + rng() % 9;
+    const Buffer desc = make_desc(layout, total, 8, block);
+    const Distribution src(desc, old_parts);
+    const Distribution dst(desc, new_parts);
+    // Local offset -> global index, per source rank.
+    const auto local_to_global = [](const Distribution& dist, int rank) {
+      std::vector<std::size_t> map;
+      dist.for_each_local_run(rank,
+                              [&](std::size_t global, std::size_t elems) {
+                                for (std::size_t k = 0; k < elems; ++k) {
+                                  map.push_back(global + k);
+                                }
+                              });
+      return map;
+    };
+    std::vector<std::vector<std::size_t>> src_maps;
+    for (int r = 0; r < old_parts; ++r) {
+      src_maps.push_back(local_to_global(src, r));
+    }
+    std::vector<int> covered(total, 0);
+    for (const Transfer& t : plan_transfers(desc, old_parts, new_parts)) {
+      ASSERT_GT(t.count, 0u);
+      const auto& map = src_maps[static_cast<std::size_t>(t.src_rank)];
+      ASSERT_LE(t.src_offset + t.count, map.size());
+      for (std::size_t k = 0; k < t.count; ++k) {
+        const std::size_t g = map[t.src_offset + k];
+        const auto to = dst.locate(g);
+        EXPECT_EQ(to.rank, t.dst_rank);
+        EXPECT_EQ(to.offset, t.dst_offset + k);
+        ++covered[g];
+      }
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(covered[i], 1)
+          << to_string(layout) << " total=" << total << " " << old_parts
+          << "->" << new_parts << " element " << i;
+    }
+  }
+}
+
+TEST(PlanTransfers, ReplicatedGivesEveryNewRankOneFullCopy) {
+  const Buffer desc = make_desc(Layout::Replicated, 9);
+  const auto plan = plan_transfers(desc, 3, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  for (int dst = 0; dst < 5; ++dst) {
+    EXPECT_EQ(plan[static_cast<std::size_t>(dst)].dst_rank, dst);
+    EXPECT_EQ(plan[static_cast<std::size_t>(dst)].src_rank, dst % 3);
+    EXPECT_EQ(plan[static_cast<std::size_t>(dst)].count, 9u);
+  }
+}
+
+TEST(PlanTransfers, Validation) {
+  EXPECT_THROW(plan_transfers(make_desc(Layout::Block, 8), 0, 2),
+               std::invalid_argument);
+  EXPECT_TRUE(plan_transfers(make_desc(Layout::Block, 0), 3, 2).empty());
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, TypedRegistrationRoundTrip) {
+  Registry registry;
+  std::vector<double> data{1.0, 2.0, 3.0};
+  int counter = 7;
+  registry.add_block("data", data, 12);
+  registry.add_scalar("counter", counter);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.total_bytes(), 12 * sizeof(double) + sizeof(int));
+  ASSERT_NE(registry.find("data"), nullptr);
+  EXPECT_EQ(registry.find("data")->desc.layout, Layout::Block);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+
+  const auto bytes = registry.at(0).read();
+  EXPECT_EQ(bytes.size(), 3 * sizeof(double));
+  const auto grown = registry.at(0).resize(5);
+  EXPECT_EQ(grown.size(), 5 * sizeof(double));
+  EXPECT_EQ(data.size(), 5u);
+
+  // The scalar refuses to change shape.
+  EXPECT_THROW(registry.at(1).resize(2), std::invalid_argument);
+}
+
+TEST(Registry, RejectsDuplicatesAndAnonymousBuffers) {
+  Registry registry;
+  std::vector<int> v;
+  registry.add_block("v", v, 4);
+  EXPECT_THROW(registry.add_block("v", v, 4), std::invalid_argument);
+  EXPECT_THROW(registry.add_block("", v, 4), std::invalid_argument);
+}
+
+// --- strategy parity --------------------------------------------------------
+
+/// Deterministic fill for global element `g`, byte `b` of buffer `which`.
+std::byte fill_byte(int which, std::size_t g, std::size_t b) {
+  return static_cast<std::byte>((which * 131 + g * 31 + b * 7 + 5) % 251);
+}
+
+struct ParityCase {
+  std::size_t doubles = 0;   // Block doubles
+  std::size_t ints = 0;      // BlockCyclic ints
+  std::size_t block = 1;     // cyclic block size
+  std::size_t replicated = 0;  // Replicated floats
+  int old_parts = 1;
+  int new_parts = 1;
+};
+
+/// One rank's post-resize buffer contents, in registration order.
+using RankContents = std::vector<std::vector<std::byte>>;
+
+struct ParityState {
+  std::vector<double> doubles;
+  std::vector<int> ints;
+  std::vector<float> replicated;
+  Registry registry;
+
+  explicit ParityState(const ParityCase& pc) {
+    Buffer d = {"doubles", sizeof(double), pc.doubles, Layout::Block, 1};
+    Buffer i = {"ints", sizeof(int), pc.ints, Layout::BlockCyclic, pc.block};
+    Buffer r = {"rep", sizeof(float), pc.replicated, Layout::Replicated, 1};
+    registry.add(d, read_of(doubles), resize_of(doubles));
+    registry.add(i, read_of(ints), resize_of(ints));
+    registry.add(r, read_of(replicated), resize_of(replicated));
+  }
+
+  /// Fill this rank's blocks with the deterministic pattern.
+  void fill(int rank, int parts) {
+    for (std::size_t which = 0; which < registry.size(); ++which) {
+      Binding& binding = registry.at(which);
+      const Distribution dist(binding.desc, parts);
+      const auto out = binding.resize(dist.local_count(rank));
+      std::size_t local = 0;
+      dist.for_each_local_run(
+          rank, [&](std::size_t global, std::size_t elems) {
+            for (std::size_t k = 0; k < elems; ++k) {
+              for (std::size_t b = 0; b < binding.desc.elem_size; ++b) {
+                out[local * binding.desc.elem_size + b] =
+                    fill_byte(static_cast<int>(which), global + k, b);
+              }
+              ++local;
+            }
+          });
+    }
+  }
+
+  RankContents snapshot() const {
+    RankContents contents;
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      const auto bytes = registry.at(i).read();
+      contents.emplace_back(bytes.begin(), bytes.end());
+    }
+    return contents;
+  }
+
+ private:
+  template <typename T>
+  static std::function<std::span<const std::byte>()> read_of(
+      std::vector<T>& v) {
+    return [&v] {
+      return std::as_bytes(std::span<const T>(v.data(), v.size()));
+    };
+  }
+  template <typename T>
+  static std::function<std::span<std::byte>(std::size_t)> resize_of(
+      std::vector<T>& v) {
+    return [&v](std::size_t elems) {
+      v.resize(elems);
+      return std::as_writable_bytes(std::span<T>(v.data(), v.size()));
+    };
+  }
+};
+
+/// Run one P -> Q redistribution under `strategy`; returns per-new-rank
+/// contents plus the summed send/recv reports.
+std::map<int, RankContents> run_parity(Strategy& strategy,
+                                       const ParityCase& pc,
+                                       Report* recv_total = nullptr) {
+  smpi::Universe universe;
+  std::mutex mu;
+  std::map<int, RankContents> results;
+  Report total;
+  universe.launch("old", pc.old_parts, [&](smpi::Context& ctx) {
+    ParityState state(pc);
+    state.fill(ctx.rank(), pc.old_parts);
+    const auto inter = ctx.spawn(
+        ctx.world(), pc.new_parts, [&](smpi::Context& child) {
+          ParityState fresh(pc);
+          const Endpoint endpoint{&*child.parent(), child.rank(),
+                                  pc.old_parts, pc.new_parts};
+          const Report report = strategy.recv(endpoint, fresh.registry);
+          std::lock_guard<std::mutex> lock(mu);
+          results[child.rank()] = fresh.snapshot();
+          total += report;
+        });
+    const Endpoint endpoint{&inter, ctx.rank(), pc.old_parts, pc.new_parts};
+    (void)strategy.send(endpoint, state.registry);
+  });
+  universe.await_all();
+  if (!universe.failures().empty()) {
+    ADD_FAILURE() << universe.failures()[0];
+  }
+  if (recv_total) *recv_total = total;
+  return results;
+}
+
+/// The ground truth: what rank `r` of the new layout must hold.
+RankContents expected_contents(const ParityCase& pc, int rank) {
+  ParityState state(pc);
+  state.fill(rank, pc.new_parts);
+  return state.snapshot();
+}
+
+class StrategyParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(StrategyParity, AllStrategiesBitIdentical) {
+  const ParityCase pc = GetParam();
+  const char* names[] = {"p2p", "pipelined", "checkpoint"};
+  std::map<int, RankContents> reference;
+  for (const char* name : names) {
+    const auto strategy = make_strategy(name);
+    Report total;
+    auto results = run_parity(*strategy, pc, &total);
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(pc.new_parts))
+        << name;
+    for (int r = 0; r < pc.new_parts; ++r) {
+      ASSERT_EQ(results[r], expected_contents(pc, r))
+          << name << ": wrong contents on new rank " << r;
+    }
+    if (reference.empty()) {
+      reference = std::move(results);
+    } else {
+      ASSERT_EQ(results, reference) << name << " diverges";
+    }
+    // Checkpoint-route reports must identify themselves so cost models
+    // calibrate the right bandwidth.
+    EXPECT_EQ(total.via_checkpoint, std::string(name) == "checkpoint");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrategyParity,
+    ::testing::Values(ParityCase{64, 40, 4, 3, 2, 4},    // grow x2
+                      ParityCase{64, 40, 4, 3, 4, 2},    // shrink x2
+                      ParityCase{97, 53, 3, 5, 3, 5},    // prime -> prime
+                      ParityCase{33, 17, 8, 1, 5, 5},    // same size
+                      ParityCase{5, 3, 2, 2, 4, 6},      // total < parts
+                      ParityCase{0, 0, 1, 0, 3, 2},      // nothing to move
+                      ParityCase{48, 0, 1, 4, 6, 1},     // collapse to 1
+                      ParityCase{7, 100, 7, 2, 1, 6}));  // explode from 1
+
+TEST(StrategyParity, RandomizedSweep) {
+  // Property test over random sizes/layouts (beyond the named shapes).
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    ParityCase pc;
+    pc.doubles = rng() % 150;
+    pc.ints = rng() % 150;
+    pc.block = 1 + rng() % 10;
+    pc.replicated = rng() % 8;
+    pc.old_parts = 1 + static_cast<int>(rng() % 5);
+    pc.new_parts = 1 + static_cast<int>(rng() % 5);
+    std::map<int, RankContents> reference;
+    for (const char* name : {"p2p", "pipelined", "checkpoint"}) {
+      const auto strategy = make_strategy(name);
+      auto results = run_parity(*strategy, pc);
+      for (int r = 0; r < pc.new_parts; ++r) {
+        ASSERT_EQ(results[r], expected_contents(pc, r))
+            << name << " trial " << trial << " rank " << r;
+      }
+      if (reference.empty()) reference = std::move(results);
+      else ASSERT_EQ(results, reference) << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(PipelinedChunks, SmallChunksManyTransfers) {
+  // Force multi-chunk streams: 8-byte chunks over a 64-double buffer.
+  PipelinedChunks strategy({/*chunk_bytes=*/8, /*max_in_flight=*/2});
+  ParityCase pc{64, 0, 1, 0, 2, 3};
+  Report total;
+  auto results = run_parity(strategy, pc, &total);
+  for (int r = 0; r < pc.new_parts; ++r) {
+    ASSERT_EQ(results[r], expected_contents(pc, r));
+  }
+  // 64 doubles = 512 bytes received across ranks in 8-byte chunks.
+  EXPECT_EQ(total.transfers, 64);
+  EXPECT_EQ(total.bytes_moved, 64 * sizeof(double));
+}
+
+TEST(CheckpointRoute, MovesBytesThroughTheStore) {
+  CheckpointRoute strategy;
+  ParityCase pc{32, 0, 1, 2, 2, 2};
+  Report total;
+  auto results = run_parity(strategy, pc, &total);
+  EXPECT_TRUE(total.via_checkpoint);
+  EXPECT_GT(strategy.store().bytes_written(), 0u);
+  EXPECT_GT(strategy.store().bytes_read(), 0u);
+}
+
+// --- cost-model calibration -------------------------------------------------
+
+TEST(CostModelFeedback, ObserveCalibratesNetworkBandwidth) {
+  drv::CostModel model;
+  const double nominal = model.reconfigure_seconds(1 << 30, 4, 8);
+
+  Report report;
+  report.bytes_moved = 1 << 20;
+  report.seconds = 1.0;  // 1 MiB/s: a much slower fabric than nominal
+  model.observe(report);
+  EXPECT_GT(model.measured_network_bw, 0.0);
+  EXPECT_EQ(model.measured_checkpoint_bw, 0.0);
+  const double calibrated = model.reconfigure_seconds(1 << 30, 4, 8);
+  EXPECT_GT(calibrated, nominal);
+
+  // A second observation blends (EWMA), not replaces.
+  Report faster = report;
+  faster.seconds = 0.25;
+  model.observe(faster);
+  EXPECT_NEAR(model.measured_network_bw,
+              0.5 * (1 << 20) + 0.5 * 4.0 * (1 << 20), 1.0);
+}
+
+TEST(CostModelFeedback, NetworkObservationsNormalizePerLane) {
+  // A report measured over 4 lanes calibrates the same per-lane rate as
+  // one measured over 1 lane at a quarter of the aggregate bandwidth —
+  // so an observation from one resize shape transfers to another.
+  drv::CostModel four, one;
+  Report wide;
+  wide.bytes_moved = 4 << 20;
+  wide.seconds = 1.0;
+  wide.lanes = 4;
+  four.observe(wide);
+  Report narrow;
+  narrow.bytes_moved = 1 << 20;
+  narrow.seconds = 1.0;
+  narrow.lanes = 1;
+  one.observe(narrow);
+  EXPECT_DOUBLE_EQ(four.measured_network_bw, one.measured_network_bw);
+  // movement() scales the per-lane figure back up by the shape's lanes:
+  // 4 -> 8 rides four lanes, 1 -> 2 only one.
+  EXPECT_LT(four.movement(1 << 26, 4, 8).seconds,
+            four.movement(1 << 26, 1, 2).seconds);
+}
+
+TEST(CostModelFeedback, CheckpointReportsCalibrateTheCrLane) {
+  drv::CostModel model;
+  model.use_checkpoint_restart = true;
+  Report report;
+  report.bytes_moved = 10 << 20;
+  report.seconds = 2.0;
+  report.via_checkpoint = true;
+  model.observe(report);
+  EXPECT_GT(model.measured_checkpoint_bw, 0.0);
+  EXPECT_EQ(model.measured_network_bw, 0.0);
+  const auto moved = model.movement(5 << 20, 4, 2);
+  EXPECT_TRUE(moved.via_checkpoint);
+  // 2 * 5 MiB at the measured 5 MiB/s => 2 s.
+  EXPECT_NEAR(moved.seconds, 2.0, 1e-9);
+}
+
+TEST(CostModelFeedback, EngineObserverFeedsTheCostModel) {
+  // The calibration tap: reports recorded on the shared engine flow
+  // straight into a CostModel via the observer.
+  Manager manager(RmsConfig{.nodes = 4, .scheduler = {}});
+  double clock = 0.0;
+  Session session(manager, [&] { return clock; });
+  JobSpec spec;
+  spec.name = "observer";
+  session.submit(spec);
+  ReconfigEngine engine(session);
+  drv::CostModel model;
+  engine.set_redist_observer(
+      [&model](const Report& report) { model.observe(report); });
+
+  Report report;
+  report.bytes_moved = 1 << 20;
+  report.seconds = 0.5;
+  engine.record_redistribution(report);
+  EXPECT_DOUBLE_EQ(model.measured_network_bw, (1 << 20) / 0.5);
+  EXPECT_EQ(engine.total_redistribution().bytes_moved,
+            std::size_t(1) << 20);
+  EXPECT_EQ(engine.last_redistribution().transfers, 0);
+}
+
+TEST(CostModelFeedback, MovementMatchesReconfigureSeconds) {
+  drv::CostModel model;
+  const std::size_t bytes = 64 << 20;
+  EXPECT_NEAR(model.protocol_seconds(8) + model.movement(bytes, 4, 8).seconds,
+              model.reconfigure_seconds(bytes, 4, 8), 1e-12);
+}
+
+}  // namespace

@@ -56,6 +56,63 @@ TEST(BlockDistribution, Errors) {
 
 TEST(Plan, EmptyForZeroElements) {
   EXPECT_TRUE(plan_redistribution(0, 4, 2).empty());
+  EXPECT_TRUE(plan_redistribution(0, 1, 1).empty());
+  EXPECT_EQ(migrated_elements(0, 4, 2), 0u);
+}
+
+TEST(Plan, RejectsNonPositiveParts) {
+  // Geometry validation fires even when there is nothing to move.
+  EXPECT_THROW(plan_redistribution(16, 0, 4), std::invalid_argument);
+  EXPECT_THROW(plan_redistribution(16, 4, -1), std::invalid_argument);
+  EXPECT_THROW(plan_redistribution(0, 0, 4), std::invalid_argument);
+}
+
+TEST(Plan, SinglePartBothDirections) {
+  // 1 -> Q: the lone old rank feeds every new rank once, in order.
+  const auto scatter = plan_redistribution(10, 1, 4);
+  ASSERT_EQ(scatter.size(), 4u);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < scatter.size(); ++i) {
+    EXPECT_EQ(scatter[i].src_rank, 0);
+    EXPECT_EQ(scatter[i].dst_rank, static_cast<int>(i));
+    EXPECT_EQ(scatter[i].dst_offset, 0u);
+    covered += scatter[i].count;
+  }
+  EXPECT_EQ(covered, 10u);
+  // Q -> 1: the mirror merge.
+  const auto gather = plan_redistribution(10, 4, 1);
+  ASSERT_EQ(gather.size(), 4u);
+  for (std::size_t i = 0; i < gather.size(); ++i) {
+    EXPECT_EQ(gather[i].src_rank, static_cast<int>(i));
+    EXPECT_EQ(gather[i].dst_rank, 0);
+    EXPECT_EQ(gather[i].src_offset, 0u);
+  }
+  // 1 -> 1 self-copy (the same-size "migration" of Fig. 1's 48-48 case).
+  const auto identity = plan_redistribution(10, 1, 1);
+  ASSERT_EQ(identity.size(), 1u);
+  EXPECT_EQ(identity[0].count, 10u);
+}
+
+TEST(Plan, TotalSmallerThanParts) {
+  // 3 elements over 5 -> 2 ranks: empty old ranks contribute no
+  // transfers, every transfer moves at least one element.
+  const auto plan = plan_redistribution(3, 5, 2);
+  const BlockDistribution old_dist(3, 5);
+  std::size_t covered = 0;
+  for (const Transfer& t : plan) {
+    EXPECT_GT(t.count, 0u);
+    EXPECT_GT(old_dist.count(t.src_rank), 0u);
+    covered += t.count;
+  }
+  EXPECT_EQ(covered, 3u);
+  // Growing into mostly-empty ranks is also valid.
+  const auto grow = plan_redistribution(3, 2, 8);
+  covered = 0;
+  for (const Transfer& t : grow) {
+    EXPECT_GT(t.count, 0u);
+    covered += t.count;
+  }
+  EXPECT_EQ(covered, 3u);
 }
 
 TEST(Plan, IdentityWhenLayoutUnchanged) {
@@ -142,7 +199,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PlanCase{100, 3, 7}, PlanCase{1, 1, 4},
                       PlanCase{5, 4, 2}, PlanCase{97, 13, 5},
                       PlanCase{64, 1, 16}, PlanCase{64, 16, 1},
-                      PlanCase{33, 32, 3}));
+                      PlanCase{33, 32, 3}, PlanCase{3, 5, 2},
+                      PlanCase{2, 7, 9}, PlanCase{1, 1, 1},
+                      PlanCase{6, 6, 6}));
 
 TEST(MigratedElements, ZeroWhenUnchanged) {
   EXPECT_EQ(migrated_elements(1024, 4, 4), 0u);
