@@ -1,0 +1,249 @@
+// Scenario-sweep harness for the workload-scale subsystem.
+//
+// Runs a grid of (cluster config x seed x policy) workload simulations —
+// Feitelson traces scaled to thousands of jobs — on a thread pool, one
+// independent Engine + WorkloadDriver per scenario, and emits one JSON
+// object per scenario ("bench JSON", the micro_redistribute format) with
+// makespan, wait/completion summaries, utilization (per partition on
+// heterogeneous clusters), redistribution totals and the incremental
+// scheduler's request/pass counters.
+//
+// Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F] [smoke]
+//   smoke      CI mode: a small trace, 1 seed, 2 threads
+//   jobs=N     jobs per trace (default 1000; the paper stops at 400)
+//   seeds=N    seeds per (config, policy) cell (default 3)
+//   threads=N  worker threads (default: hardware concurrency)
+//   steps=N    reconfiguring-point steps per job (default 25, Table I FS)
+//   load=F     offered load fraction used to pace arrivals (default 0.9)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dmr/simulation.hpp"
+#include "dmr/util.hpp"
+
+namespace {
+
+using namespace dmr;
+
+struct ClusterConfig {
+  const char* name;
+  std::vector<rms::Partition> partitions;  // empty = homogeneous `nodes`
+  int nodes = 0;
+};
+
+struct Policy {
+  const char* name;
+  bool flexible;
+  bool asynchronous;
+};
+
+constexpr Policy kPolicies[] = {
+    {"fixed", false, false},
+    {"flexible", true, false},
+    {"async", true, true},
+};
+
+struct SweepOptions {
+  int jobs = 1000;
+  int seeds = 3;
+  int steps = 25;
+  int threads = 0;  // 0 = hardware concurrency
+  double load = 0.9;
+};
+
+struct Scenario {
+  const ClusterConfig* cluster;
+  Policy policy;
+  std::uint64_t seed;
+  SweepOptions options;
+};
+
+int total_nodes(const ClusterConfig& config) {
+  if (config.partitions.empty()) return config.nodes;
+  int total = 0;
+  for (const auto& part : config.partitions) total += part.nodes;
+  return total;
+}
+
+/// Build the FS workload for one scenario and run it to completion.
+std::string run_scenario(const Scenario& scenario) {
+  const int nodes = total_nodes(*scenario.cluster);
+  wl::FeitelsonParams params;
+  params.jobs = scenario.options.jobs;
+  // The paper's preliminary-study shape: sizes up to the 20-node
+  // partition, 60 s step cap; larger clusters keep the same job-size
+  // distribution and absorb the load through parallelism.
+  params.max_size = std::min(nodes, 20);
+  params.max_runtime = 60.0 * scenario.options.steps;
+  params.short_runtime_mean = 60.0;
+  params.long_runtime_mean = 600.0;
+  params.seed = scenario.seed;
+  params.mean_interarrival = wl::feitelson_balanced_interarrival(
+      params, nodes, scenario.options.load);
+  const auto workload = wl::generate_feitelson(params);
+
+  sim::Engine engine;
+  drv::DriverConfig config;
+  config.rms.nodes = scenario.cluster->nodes;
+  config.rms.partitions = scenario.cluster->partitions;
+  config.asynchronous = scenario.policy.asynchronous;
+  drv::WorkloadDriver driver(engine, config);
+
+  const int parts =
+      static_cast<int>(scenario.cluster->partitions.size());
+  for (const auto& job : workload) {
+    drv::JobPlan plan;
+    plan.arrival = job.arrival;
+    plan.model = apps::fs_model(scenario.options.steps, job.size,
+                                job.runtime / scenario.options.steps,
+                                params.max_size, std::size_t(1) << 30);
+    plan.submit_nodes = job.size;
+    plan.flexible = scenario.policy.flexible;
+    if (parts > 1) {
+      // Mixed placement: half the jobs are partition-constrained (round
+      // robin over the partitions, when they fit), half span freely.
+      const std::size_t slot = static_cast<std::size_t>(job.index);
+      if (slot % 2 == 0) {
+        const auto& part = scenario.cluster->partitions
+                               [(slot / 2) % static_cast<std::size_t>(parts)];
+        if (job.size <= part.nodes) plan.partition = part.name;
+      }
+    }
+    driver.add(std::move(plan));
+  }
+
+  const double start = util::wall_seconds();
+  const drv::WorkloadMetrics metrics = driver.run();
+  const double wall = util::wall_seconds() - start;
+
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"bench\":\"sweep\",\"cluster\":\"" << scenario.cluster->name
+      << "\",\"policy\":\"" << scenario.policy.name
+      << "\",\"seed\":" << scenario.seed << ",\"jobs\":" << metrics.jobs
+      << ",\"nodes\":" << nodes << ",\"makespan\":" << metrics.makespan
+      << ",\"utilization\":" << metrics.utilization;
+  for (const auto& part : metrics.partitions) {
+    out << ",\"utilization_" << part.name << "\":" << part.utilization;
+  }
+  out << ",\"wait_mean\":" << metrics.wait.mean
+      << ",\"wait_p95\":" << metrics.wait.p95
+      << ",\"wait_max\":" << metrics.wait.max
+      << ",\"completion_mean\":" << metrics.completion.mean
+      << ",\"execution_mean\":" << metrics.execution.mean
+      << ",\"expands\":" << metrics.expands
+      << ",\"shrinks\":" << metrics.shrinks << ",\"checks\":" << metrics.checks
+      << ",\"aborted_expands\":" << metrics.aborted_expands
+      << ",\"bytes_redistributed\":" << metrics.bytes_redistributed
+      << ",\"redistribution_seconds\":" << metrics.redistribution_seconds
+      << ",\"schedule_requests\":" << metrics.schedule_requests
+      << ",\"schedule_passes\":" << metrics.schedule_passes
+      << ",\"schedule_passes_saved\":" << metrics.schedule_passes_saved
+      << ",\"wall_seconds\":" << wall << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions options;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    unsigned long long value = 0;
+    double fraction = 0.0;
+    if (std::strcmp(argv[i], "smoke") == 0) {
+      smoke = true;
+    } else if (std::sscanf(argv[i], "jobs=%llu", &value) == 1) {
+      options.jobs = static_cast<int>(value);
+    } else if (std::sscanf(argv[i], "seeds=%llu", &value) == 1) {
+      options.seeds = static_cast<int>(value);
+    } else if (std::sscanf(argv[i], "threads=%llu", &value) == 1) {
+      options.threads = static_cast<int>(value);
+    } else if (std::sscanf(argv[i], "steps=%llu", &value) == 1) {
+      options.steps = static_cast<int>(value);
+    } else if (std::sscanf(argv[i], "load=%lf", &fraction) == 1) {
+      options.load = fraction;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
+                   "[load=F] [smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (options.jobs <= 0 || options.seeds <= 0 || options.steps <= 0 ||
+      options.load <= 0.0 || options.load > 1.0) {
+    std::fprintf(stderr,
+                 "sweep: jobs/seeds/steps must be positive and load in "
+                 "(0, 1]\n");
+    return 2;
+  }
+  if (smoke) {
+    options.jobs = 120;
+    options.seeds = 1;
+    options.steps = 5;
+    if (options.threads == 0) options.threads = 2;
+  }
+  if (options.threads <= 0) {
+    options.threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const std::vector<ClusterConfig> clusters = {
+      {"hom20", {}, 20},
+      {"hom64", {}, 64},
+      {"het_fast_slow",
+       {rms::Partition{"fast", 16, 1.0}, rms::Partition{"slow", 16, 0.6}},
+       0},
+  };
+
+  std::vector<Scenario> scenarios;
+  for (const auto& cluster : clusters) {
+    for (const Policy& policy : kPolicies) {
+      for (int s = 0; s < options.seeds; ++s) {
+        scenarios.push_back(Scenario{&cluster, policy,
+                                     2017 + static_cast<std::uint64_t>(s),
+                                     options});
+      }
+    }
+  }
+
+  // Thread pool over the scenario list: scenarios are fully independent
+  // (own engine, manager, driver, RNG), so workers share nothing but the
+  // next-index counter.  Output is buffered per scenario and printed in
+  // grid order to keep runs diffable.
+  std::vector<std::string> lines(scenarios.size());
+  std::atomic<std::size_t> next{0};
+  const double start = util::wall_seconds();
+  std::vector<std::thread> workers;
+  const int worker_count =
+      std::min<int>(options.threads, static_cast<int>(scenarios.size()));
+  workers.reserve(static_cast<std::size_t>(worker_count));
+  for (int t = 0; t < worker_count; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= scenarios.size()) return;
+        lines[index] = run_scenario(scenarios[index]);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall = util::wall_seconds() - start;
+
+  for (const auto& line : lines) std::printf("%s\n", line.c_str());
+  std::printf(
+      "{\"bench\":\"sweep\",\"summary\":true,\"scenarios\":%zu,"
+      "\"threads\":%d,\"jobs_per_trace\":%d,\"wall_seconds\":%.3f,"
+      "\"scenarios_per_second\":%.2f}\n",
+      scenarios.size(), worker_count, options.jobs, wall,
+      wall > 0.0 ? static_cast<double>(scenarios.size()) / wall : 0.0);
+  return 0;
+}

@@ -114,6 +114,9 @@ struct JobSpec {
   std::optional<JobId> depends_on;
   /// Resizer jobs are internal bookkeeping helpers, invisible to metrics.
   bool internal_resizer = false;
+  /// Cluster partition this job is constrained to; empty = any (the job
+  /// may span partitions).  Unknown names are rejected at submission.
+  std::string partition;
   /// Moldable submission (the paper's future-work extension): instead of
   /// a rigid `requested_nodes`, the scheduler may start the job with any
   /// size in [min_nodes, requested_nodes] if that lets it start earlier.

@@ -10,11 +10,23 @@
 
 namespace dmr::drv {
 
+/// Per-partition slice of the utilization metric (heterogeneous runs).
+struct PartitionUtilization {
+  std::string name;
+  int nodes = 0;
+  double utilization = 0.0;
+};
+
 struct WorkloadMetrics {
   double makespan = 0.0;
-  /// Time-weighted average of (allocated nodes / cluster nodes) over the
-  /// workload execution — Table II's "Avg. resource utilization rate".
+  /// Time-weighted average of (allocated nodes / cluster nodes) over
+  /// [first arrival, makespan] — Table II's "Avg. resource utilization
+  /// rate".  The window starts at the first arrival, not 0, so staggered
+  /// workloads are not diluted by dead lead-in time.
   double utilization = 0.0;
+  /// Utilization per partition over the same window (one entry per
+  /// partition when the cluster is heterogeneous; empty otherwise).
+  std::vector<PartitionUtilization> partitions;
   util::Summary wait;        // "Avg. job waiting time"
   util::Summary execution;   // "Avg. job execution time"
   util::Summary completion;  // "Avg. job completion time"
@@ -23,6 +35,12 @@ struct WorkloadMetrics {
   long long shrinks = 0;
   long long checks = 0;
   long long aborted_expands = 0;
+  /// Incremental-scheduling telemetry: schedule() invocations, the
+  /// passes that actually ran, and the passes avoided relative to the
+  /// former run-on-every-mutation design.
+  long long schedule_requests = 0;
+  long long schedule_passes = 0;
+  long long schedule_passes_saved = 0;
   /// Data moved by all reconfigurations (from the redist::Reports the
   /// driver records per resize) and the virtual time it cost.
   std::size_t bytes_redistributed = 0;

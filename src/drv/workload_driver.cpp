@@ -23,14 +23,38 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
   manager_.on_alloc_change([this](int allocated, int running) {
     trace_.record("allocated", allocated);
     trace_.record("running", running);
+    // Per-partition occupancy, for the heterogeneous utilization report.
+    const rms::Cluster& cluster = manager_.cluster();
+    if (cluster.partition_count() > 1) {
+      for (int p = 0; p < cluster.partition_count(); ++p) {
+        trace_.record("allocated:" + cluster.partition(p).name,
+                      cluster.allocated_in(p));
+      }
+    }
   });
 }
 
 void WorkloadDriver::add(JobPlan plan) {
   if (plan.time_limit <= 0.0) {
-    plan.time_limit =
-        plan.model.step_seconds(plan.submit_nodes) * plan.model.iterations *
-        1.2;
+    // Scale the estimate by the node speed the job can land on: its
+    // partition's speed when pinned, the slowest partition otherwise (a
+    // spanning job may be gated by it; overestimating the limit keeps
+    // the EASY reservation conservative, underestimating would let
+    // backfill squat on reserved nodes).
+    const rms::Cluster& cluster = manager_.cluster();
+    double speed = 1.0;
+    if (cluster.partition_count() > 1) {
+      const int pinned = cluster.partition_index(plan.partition);
+      if (pinned != rms::kAnyPartition) {
+        speed = cluster.partition(pinned).speed;
+      } else {
+        for (int p = 0; p < cluster.partition_count(); ++p) {
+          speed = std::min(speed, cluster.partition(p).speed);
+        }
+      }
+    }
+    plan.time_limit = plan.model.step_seconds(plan.submit_nodes) *
+                      plan.model.iterations * 1.2 / speed;
   }
   auto exec = std::make_unique<Exec>();
   exec->plan = std::move(plan);
@@ -48,6 +72,7 @@ void WorkloadDriver::submit(Exec& exec) {
   spec.flexible = exec.plan.flexible;
   spec.moldable = exec.plan.moldable;
   spec.time_limit = exec.plan.time_limit;
+  spec.partition = exec.plan.partition;
   exec.session = std::make_unique<::dmr::Session>(connection_);
   exec.id = exec.session->submit(std::move(spec));
   const double period = config_.sched_period_override >= 0.0
@@ -93,7 +118,11 @@ void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
 
 void WorkloadDriver::schedule_step(Exec& exec) {
   const rms::Job& job = manager_.job(exec.id);
-  const double duration = exec.plan.model.step_seconds(job.allocated());
+  // Synchronous iterations: the slowest node in the allocation gates the
+  // step (speed 1.0 everywhere on a homogeneous cluster).
+  const double speed = manager_.cluster().min_speed(job.nodes);
+  const double duration =
+      exec.plan.model.step_seconds(job.allocated()) / speed;
   engine_.schedule_after(duration, [this, &exec] { finish_step(exec); });
 }
 
@@ -173,14 +202,39 @@ WorkloadMetrics WorkloadDriver::run() {
   metrics.wait = util::summarize(std::move(waits));
   metrics.execution = util::summarize(std::move(execs));
   metrics.completion = util::summarize(std::move(completions));
-  if (trace_.has("allocated") && makespan > 0.0) {
-    metrics.utilization = trace_.average("allocated", 0.0, makespan) /
-                          manager_.cluster().size();
+  // Utilization integrates over [first arrival, makespan]: a staggered
+  // workload's dead lead-in (nothing submitted yet) is not the cluster's
+  // fault and used to understate the metric.
+  double first_arrival = makespan;
+  for (const auto& exec : execs_) {
+    first_arrival = std::min(first_arrival, exec->plan.arrival);
+  }
+  if (trace_.has("allocated") && makespan > first_arrival) {
+    metrics.utilization =
+        trace_.average("allocated", first_arrival, makespan) /
+        manager_.cluster().size();
+    const rms::Cluster& cluster = manager_.cluster();
+    if (cluster.partition_count() > 1) {
+      for (int p = 0; p < cluster.partition_count(); ++p) {
+        PartitionUtilization part;
+        part.name = cluster.partition(p).name;
+        part.nodes = cluster.partition(p).nodes;
+        const std::string series = "allocated:" + part.name;
+        if (trace_.has(series)) {
+          part.utilization =
+              trace_.average(series, first_arrival, makespan) / part.nodes;
+        }
+        metrics.partitions.push_back(std::move(part));
+      }
+    }
   }
   metrics.expands = manager_.counters().expands;
   metrics.shrinks = manager_.counters().shrinks;
   metrics.checks = manager_.counters().checks;
   metrics.aborted_expands = manager_.counters().aborted_expands;
+  metrics.schedule_requests = manager_.counters().schedule_requests;
+  metrics.schedule_passes = manager_.counters().schedule_passes;
+  metrics.schedule_passes_saved = manager_.counters().schedule_passes_saved;
   metrics.bytes_redistributed = bytes_redistributed_;
   metrics.redistribution_seconds = redistribution_seconds_;
   return metrics;

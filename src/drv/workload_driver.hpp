@@ -37,6 +37,8 @@ struct JobPlan {
   bool moldable = false;
   /// Backfill estimate; 0 derives it from the model at the submit size.
   double time_limit = 0.0;
+  /// Partition constraint (empty = may run anywhere / span partitions).
+  std::string partition;
 };
 
 struct DriverConfig {

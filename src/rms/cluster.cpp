@@ -1,20 +1,75 @@
 #include "rms/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dmr::rms {
 
-Cluster::Cluster(int node_count, std::string name_prefix) {
-  if (node_count <= 0) {
-    throw std::invalid_argument("Cluster: non-positive node count");
+Cluster::Cluster(int node_count, std::string name_prefix)
+    : Cluster(std::vector<Partition>{
+          Partition{std::move(name_prefix), node_count, 1.0}}) {}
+
+Cluster::Cluster(std::vector<Partition> partitions)
+    : partitions_(std::move(partitions)) {
+  if (partitions_.empty()) {
+    throw std::invalid_argument("Cluster: no partitions");
   }
-  nodes_.resize(static_cast<std::size_t>(node_count));
-  for (int i = 0; i < node_count; ++i) {
-    nodes_[static_cast<std::size_t>(i)].id = i;
-    nodes_[static_cast<std::size_t>(i)].name =
-        name_prefix + std::to_string(i);
+  int total = 0;
+  for (const Partition& part : partitions_) {
+    if (part.nodes <= 0) {
+      throw std::invalid_argument("Cluster: non-positive node count in '" +
+                                  part.name + "'");
+    }
+    if (part.speed <= 0.0) {
+      throw std::invalid_argument("Cluster: non-positive speed in '" +
+                                  part.name + "'");
+    }
+    total += part.nodes;
   }
-  idle_count_ = node_count;
+  nodes_.resize(static_cast<std::size_t>(total));
+  node_partition_.resize(static_cast<std::size_t>(total));
+  idle_per_partition_.resize(partitions_.size());
+  int id = 0;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const Partition& part = partitions_[p];
+    for (int local = 0; local < part.nodes; ++local, ++id) {
+      Node& node = nodes_[static_cast<std::size_t>(id)];
+      node.id = id;
+      node.name = part.name + std::to_string(local);
+      node.partition = static_cast<int>(p);
+      node.speed = part.speed;
+      node_partition_[static_cast<std::size_t>(id)] = static_cast<int>(p);
+    }
+    idle_per_partition_[p] = part.nodes;
+  }
+  idle_count_ = total;
+}
+
+int Cluster::partition_index(const std::string& name) const {
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    if (partitions_[p].name == name) return static_cast<int>(p);
+  }
+  return kAnyPartition;
+}
+
+int Cluster::idle_in(int partition) const {
+  return idle_per_partition_.at(static_cast<std::size_t>(partition));
+}
+
+int Cluster::allocated_in(int partition) const {
+  return partitions_.at(static_cast<std::size_t>(partition)).nodes -
+         idle_in(partition);
+}
+
+double Cluster::min_speed(const std::vector<int>& node_ids) const {
+  double slowest = 1.0;
+  bool first = true;
+  for (int id : node_ids) {
+    const double speed = node(id).speed;
+    if (first || speed < slowest) slowest = speed;
+    first = false;
+  }
+  return slowest;
 }
 
 Node& Cluster::mutable_node(int id) {
@@ -24,17 +79,21 @@ Node& Cluster::mutable_node(int id) {
   return nodes_[static_cast<std::size_t>(id)];
 }
 
-std::vector<int> Cluster::allocate(JobId job, int count) {
+std::vector<int> Cluster::allocate(JobId job, int count, int partition) {
   if (count <= 0) throw std::invalid_argument("Cluster: non-positive count");
-  if (count > idle_count_) {
+  const int available =
+      partition == kAnyPartition ? idle_count_ : idle_in(partition);
+  if (count > available) {
     throw std::runtime_error("Cluster: insufficient idle nodes");
   }
   std::vector<int> granted;
   granted.reserve(static_cast<std::size_t>(count));
   for (auto& node : nodes_) {
     if (node.owner != kInvalidJob) continue;
+    if (partition != kAnyPartition && node.partition != partition) continue;
     node.owner = job;
     node.draining = false;
+    --idle_per_partition_[static_cast<std::size_t>(node.partition)];
     granted.push_back(node.id);
     if (static_cast<int>(granted.size()) == count) break;
   }
@@ -49,7 +108,9 @@ void Cluster::release(JobId job, const std::vector<int>& node_ids) {
       throw std::runtime_error("Cluster: releasing node not owned by job");
     }
     node.owner = kInvalidJob;
+    if (node.draining) --draining_count_;
     node.draining = false;
+    ++idle_per_partition_[static_cast<std::size_t>(node.partition)];
     ++idle_count_;
   }
 }
@@ -64,12 +125,25 @@ void Cluster::transfer(JobId from, JobId to,
       throw std::runtime_error("Cluster: transferring node not owned by job");
     }
     node.owner = to;
+    if (node.draining) --draining_count_;
     node.draining = false;
   }
 }
 
 void Cluster::set_draining(const std::vector<int>& node_ids, bool draining) {
-  for (int id : node_ids) mutable_node(id).draining = draining;
+  for (int id : node_ids) {
+    Node& node = mutable_node(id);
+    if (node.draining != draining) draining_count_ += draining ? 1 : -1;
+    node.draining = draining;
+  }
+}
+
+std::vector<std::uint8_t> Cluster::draining_flags() const {
+  std::vector<std::uint8_t> flags(nodes_.size(), 0);
+  for (const auto& node : nodes_) {
+    if (node.draining) flags[static_cast<std::size_t>(node.id)] = 1;
+  }
+  return flags;
 }
 
 std::vector<int> Cluster::nodes_of(JobId job) const {
@@ -78,6 +152,15 @@ std::vector<int> Cluster::nodes_of(JobId job) const {
     if (node.owner == job) owned.push_back(node.id);
   }
   return owned;
+}
+
+std::vector<int> Cluster::idle_node_ids() const {
+  std::vector<int> idle;
+  idle.reserve(static_cast<std::size_t>(idle_count_));
+  for (const auto& node : nodes_) {
+    if (node.owner == kInvalidJob) idle.push_back(node.id);
+  }
+  return idle;
 }
 
 }  // namespace dmr::rms

@@ -3,14 +3,34 @@
 // Nodes are the allocation unit, matching the paper's setup of one MPI
 // rank per node (intra-node parallelism belongs to OpenMP/OmpSs and is
 // outside the resource manager's concern).
+//
+// A cluster is a set of *partitions*: contiguous node ranges with their
+// own name and speed factor (step time on a node scales with 1/speed).
+// The paper's homogeneous testbed is the single-partition special case;
+// heterogeneous clusters open the mixed-hardware scenario class the paper
+// could not explore.  Jobs may be constrained to one partition or span
+// partitions freely.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "rms/job.hpp"
 
 namespace dmr::rms {
+
+/// Any partition (unconstrained job) in partition-indexed APIs.
+constexpr int kAnyPartition = -1;
+
+/// One homogeneous slice of the cluster.
+struct Partition {
+  std::string name;
+  int nodes = 0;
+  /// Relative node speed: 1.0 = reference hardware; a 0.5 node takes
+  /// twice as long per application step.
+  double speed = 1.0;
+};
 
 struct Node {
   int id = -1;
@@ -20,22 +40,50 @@ struct Node {
   /// Draining: still owned, but scheduled for release after the shrink
   /// drain protocol completes (no new work may land on it).
   bool draining = false;
+  /// Partition index this node belongs to.
+  int partition = 0;
+  /// Speed factor inherited from the partition.
+  double speed = 1.0;
 };
 
 class Cluster {
  public:
   explicit Cluster(int node_count, std::string name_prefix = "vnode");
+  /// Heterogeneous cluster: one node range per partition, ids assigned in
+  /// declaration order.  Node names are "<partition><local-index>".
+  explicit Cluster(std::vector<Partition> partitions);
 
   int size() const { return static_cast<int>(nodes_.size()); }
   int idle() const { return idle_count_; }
   int allocated() const { return size() - idle_count_; }
 
-  const Node& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  // --- partitions ------------------------------------------------------------
+
+  int partition_count() const { return static_cast<int>(partitions_.size()); }
+  const Partition& partition(int index) const {
+    return partitions_.at(static_cast<std::size_t>(index));
+  }
+  /// Index of the named partition, or kAnyPartition when `name` is empty
+  /// or unknown (callers validate when they need a hard failure).
+  int partition_index(const std::string& name) const;
+  int idle_in(int partition) const;
+  int allocated_in(int partition) const;
+  /// Slowest speed factor among `node_ids` (1.0 for an empty list): the
+  /// gating speed of a synchronous-stepping job on those nodes.
+  double min_speed(const std::vector<int>& node_ids) const;
+  /// Partition index of every node, indexed by node id.
+  const std::vector<int>& node_partitions() const { return node_partition_; }
+
+  const Node& node(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
 
   /// Allocate `count` idle nodes to `job`; returns their ids (lowest-id
-  /// first, which keeps simulations deterministic).  Throws when fewer
-  /// than `count` nodes are idle.
-  std::vector<int> allocate(JobId job, int count);
+  /// first, which keeps simulations deterministic).  When `partition` is
+  /// not kAnyPartition only that partition's nodes are eligible.  Throws
+  /// when fewer than `count` eligible nodes are idle.
+  std::vector<int> allocate(JobId job, int count,
+                            int partition = kAnyPartition);
 
   /// Release specific nodes owned by `job`.
   void release(JobId job, const std::vector<int>& node_ids);
@@ -51,13 +99,25 @@ class Cluster {
   /// Mark nodes as draining (shrink in progress).
   void set_draining(const std::vector<int>& node_ids, bool draining);
 
+  /// Number of nodes currently draining (0 lets schedule passes skip
+  /// building the per-node drain snapshot).
+  int draining_count() const { return draining_count_; }
+  /// Draining flag per node id, for the scheduler snapshot.
+  std::vector<std::uint8_t> draining_flags() const;
+
   std::vector<int> nodes_of(JobId job) const;
   std::string node_name(int id) const { return node(id).name; }
+  /// Sorted ids of all idle nodes (the scheduler's allocation preview).
+  std::vector<int> idle_node_ids() const;
 
  private:
   Node& mutable_node(int id);
   std::vector<Node> nodes_;
+  std::vector<Partition> partitions_;
+  std::vector<int> node_partition_;
+  std::vector<int> idle_per_partition_;
   int idle_count_ = 0;
+  int draining_count_ = 0;
 };
 
 }  // namespace dmr::rms

@@ -37,6 +37,10 @@ struct Job {
   /// Scheduler priority boost (set_max_priority in Algorithm 1).
   bool priority_boost = false;
 
+  /// Partition index resolved from spec.partition at submission
+  /// (kAnyPartition/-1 = unconstrained).
+  int partition = -1;
+
   double submit_time = 0.0;
   double start_time = -1.0;
   double end_time = -1.0;

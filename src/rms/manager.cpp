@@ -7,9 +7,18 @@
 
 namespace dmr::rms {
 
+namespace {
+
+Cluster make_cluster(const RmsConfig& config) {
+  if (!config.partitions.empty()) return Cluster(config.partitions);
+  return Cluster(config.nodes);
+}
+
+}  // namespace
+
 Manager::Manager(RmsConfig config)
-    : config_(config), cluster_(config.nodes) {
-  config_.scheduler.weights.cluster_size = config.nodes;
+    : config_(std::move(config)), cluster_(make_cluster(config_)) {
+  config_.scheduler.weights.cluster_size = cluster_.size();
 }
 
 void Manager::rescale_time_limit(Job& job, double now, double ratio) {
@@ -47,10 +56,24 @@ bool Manager::eligible(const Job& job) const {
   return true;
 }
 
+void Manager::mark_queue_changed() {
+  placements_dirty_ = true;
+  ++queue_version_;
+}
+
+void Manager::remove_from(std::vector<Job*>& list, const Job* job) {
+  const auto it = std::find(list.begin(), list.end(), job);
+  if (it != list.end()) {
+    *it = list.back();
+    list.pop_back();
+  }
+}
+
 std::vector<Job*> Manager::eligible_pending(double now) {
   std::vector<Job*> pending;
-  for (auto& [id, job] : jobs_) {
-    if (eligible(job)) pending.push_back(&job);
+  pending.reserve(pending_jobs_.size());
+  for (Job* job : pending_jobs_) {
+    if (eligible(*job)) pending.push_back(job);
   }
   std::sort(pending.begin(), pending.end(),
             PendingOrder{now, config_.scheduler.weights});
@@ -58,7 +81,17 @@ std::vector<Job*> Manager::eligible_pending(double now) {
 }
 
 JobId Manager::submit(JobSpec spec, double now) {
-  if (spec.requested_nodes <= 0 || spec.requested_nodes > cluster_.size()) {
+  int partition = kAnyPartition;
+  int capacity = cluster_.size();
+  if (!spec.partition.empty()) {
+    partition = cluster_.partition_index(spec.partition);
+    if (partition == kAnyPartition) {
+      throw std::invalid_argument("Manager: unknown partition '" +
+                                  spec.partition + "' for " + spec.name);
+    }
+    capacity = cluster_.partition(partition).nodes;
+  }
+  if (spec.requested_nodes <= 0 || spec.requested_nodes > capacity) {
     throw std::invalid_argument("Manager: bad node request for " + spec.name);
   }
   if (spec.min_nodes < 1 || spec.max_nodes < spec.min_nodes) {
@@ -68,21 +101,34 @@ JobId Manager::submit(JobSpec spec, double now) {
   Job job;
   job.id = next_id_++;
   job.spec = std::move(spec);
+  job.partition = partition;
   job.requested_nodes = job.spec.requested_nodes;
   job.submit_time = now;
   job.state = JobState::Pending;
   const JobId id = job.id;
   DMR_DEBUG("rms") << "submit job " << id << " '" << job.spec.name << "' ("
                    << job.requested_nodes << " nodes) at t=" << now;
-  jobs_.emplace(id, std::move(job));
+  Job& stored = jobs_.emplace(id, std::move(job)).first->second;
+  pending_jobs_.push_back(&stored);
+  if (stored.spec.depends_on) {
+    dependents_[*stored.spec.depends_on].push_back(id);
+  }
+  if (!stored.spec.internal_resizer) {
+    user_jobs_.push_back(&stored);
+    ++unfinished_user_jobs_;
+  }
+  mark_queue_changed();
   return id;
 }
 
 void Manager::start_job(Job& job, double now) {
-  job.nodes = cluster_.allocate(job.id, job.requested_nodes);
+  job.nodes = cluster_.allocate(job.id, job.requested_nodes, job.partition);
   job.state = JobState::Running;
   job.start_time = now;
   job.priority_boost = false;
+  remove_from(pending_jobs_, &job);
+  running_jobs_.push_back(&job);
+  ++queue_version_;
   DMR_DEBUG("rms") << "start job " << job.id << " on " << job.allocated()
                    << " nodes at t=" << now;
   if (!job.spec.internal_resizer) {
@@ -92,70 +138,140 @@ void Manager::start_job(Job& job, double now) {
 }
 
 std::vector<JobId> Manager::schedule(double now) {
+  ++counters_.schedule_requests;
   std::vector<JobId> started;
-  // Iterate to a fixpoint: starting a job can make its dependents
-  // eligible (resizer jobs depend on their parent running).
+  if (!placements_dirty_) {
+    ++counters_.schedule_passes_saved;
+    return started;
+  }
+  placements_dirty_ = false;
+  const bool heterogeneous = cluster_.partition_count() > 1;
+  // Iterate only while a start can enable further starts: a started job
+  // with a pending dependent (resizer jobs depend on their parent
+  // running) or a molded head leaving idle nodes behind.  The former
+  // unconditional loop burned one full confirming pass per call.
   for (;;) {
+    ++counters_.schedule_passes;
     ScheduleView view;
     view.now = now;
     view.idle_nodes = cluster_.idle();
     view.pending = eligible_pending(now);
-    for (const auto& [id, job] : jobs_) {
-      if (job.running()) view.running.push_back(&job);
+    view.running.reserve(running_jobs_.size());
+    for (const Job* job : running_jobs_) view.running.push_back(job);
+    if (cluster_.draining_count() > 0) {
+      view.node_draining = cluster_.draining_flags();
+    }
+    if (heterogeneous) {
+      view.node_partition = cluster_.node_partitions();
+      view.idle_per_partition.resize(
+          static_cast<std::size_t>(cluster_.partition_count()));
+      for (int p = 0; p < cluster_.partition_count(); ++p) {
+        view.idle_per_partition[static_cast<std::size_t>(p)] =
+            cluster_.idle_in(p);
+      }
+      view.idle_node_ids = cluster_.idle_node_ids();
     }
     std::vector<Job*> to_start = schedule_pass(view, config_.scheduler);
+    Job* molded = nullptr;
     if (to_start.empty()) {
       // Moldable extension: when nothing rigid fits, the *head* job (and
       // only the head — molding past a blocked head would starve it) may
       // start smaller than requested, down to its minimum.
-      Job* molded = nullptr;
       if (!view.pending.empty()) {
         Job* head = view.pending.front();
-        if (head->spec.moldable && head->spec.min_nodes <= view.idle_nodes &&
-            view.idle_nodes > 0) {
+        const int head_idle = head->partition == kAnyPartition
+                                  ? view.idle_nodes
+                                  : cluster_.idle_in(head->partition);
+        if (head->spec.moldable && head->spec.min_nodes <= head_idle &&
+            head_idle > 0) {
           molded = head;
+          const int size = std::min(molded->requested_nodes, head_idle);
+          DMR_DEBUG("rms") << "molding job " << molded->id << " from "
+                           << molded->requested_nodes << " to " << size
+                           << " nodes";
+          molded->requested_nodes = size;
+          to_start.push_back(molded);
         }
       }
-      if (molded == nullptr) break;
-      const int size = std::min(molded->requested_nodes, view.idle_nodes);
-      DMR_DEBUG("rms") << "molding job " << molded->id << " from "
-                       << molded->requested_nodes << " to " << size
-                       << " nodes";
-      molded->requested_nodes = size;
-      to_start.push_back(molded);
+      if (to_start.empty()) break;
     }
+    bool starts_may_cascade = false;
     for (Job* job : to_start) {
+      const auto dep = dependents_.find(job->id);
+      if (dep != dependents_.end()) {
+        for (JobId child : dep->second) {
+          if (this->job(child).pending()) {
+            starts_may_cascade = true;
+            break;
+          }
+        }
+      }
       start_job(*job, now);
       started.push_back(job->id);
+    }
+    // A molded start can leave idle nodes a newly exposed moldable head
+    // could still use.
+    if (molded != nullptr) starts_may_cascade = true;
+    if (!starts_may_cascade) {
+      // A rigid-only round cannot enable more rigid starts, but a
+      // moldable job waiting behind it still can (the pass only molds
+      // when nothing rigid starts): give those a molding round before
+      // declaring the fixpoint.
+      if (cluster_.idle() > 0 &&
+          std::any_of(pending_jobs_.begin(), pending_jobs_.end(),
+                      [this](const Job* job) {
+                        return job->spec.moldable && eligible(*job);
+                      })) {
+        continue;
+      }
+      // The former design re-ran a whole pass here just to confirm the
+      // fixpoint.
+      ++counters_.schedule_passes_saved;
+      break;
     }
   }
   return started;
 }
 
 void Manager::finish_job(Job& job, double now, JobState final_state) {
+  const bool was_pending = job.pending();
+  bool released_nodes = false;
   if (job.running()) {
-    cluster_.release_all(job.id);
+    // job.nodes is exactly the owned set (harvest_resizer detaches its
+    // nodes before finishing the resizer), so release it directly
+    // instead of re-deriving it from a whole-cluster scan.
+    released_nodes = !job.nodes.empty();
+    if (released_nodes) cluster_.release(job.id, job.nodes);
     job.nodes.clear();
+    remove_from(running_jobs_, &job);
   }
+  if (was_pending) remove_from(pending_jobs_, &job);
   job.state = final_state;
   job.end_time = now;
   if (!job.spec.internal_resizer) {
+    --unfinished_user_jobs_;
     for (const auto& cb : end_callbacks_) cb(job);
   }
+  ++queue_version_;
+  // Released nodes or a removed queue entry (a new head) can both change
+  // the next placement decision; a node-less exit (resizer harvest)
+  // cannot.
+  if (released_nodes || was_pending) placements_dirty_ = true;
   cancel_dependents(job.id, now);
   notify_alloc();
 }
 
 void Manager::cancel_dependents(JobId parent, double now) {
   // Resizer jobs are only meaningful while their parent runs.
-  std::vector<JobId> to_cancel;
-  for (const auto& [id, job] : jobs_) {
-    if (job.spec.depends_on == parent && !job.finished()) {
-      to_cancel.push_back(id);
-    }
-  }
+  const auto it = dependents_.find(parent);
+  if (it == dependents_.end()) return;
+  const std::vector<JobId> to_cancel = std::move(it->second);
+  dependents_.erase(it);
   for (JobId id : to_cancel) {
-    finish_job(job_mutable(id), now, JobState::Cancelled);
+    Job& dependent = job_mutable(id);
+    if (!dependent.finished()) {
+      finish_job(dependent, now, JobState::Cancelled);
+    }
   }
 }
 
@@ -179,11 +295,17 @@ void Manager::job_finished(JobId id, double now) {
 
 void Manager::update_requested_nodes(JobId id, int nodes, double now) {
   Job& job = job_mutable(id);
-  if (nodes < 0 || nodes > cluster_.size()) {
+  const int capacity = job.partition == kAnyPartition
+                           ? cluster_.size()
+                           : cluster_.partition(job.partition).nodes;
+  if (nodes < 0 || nodes > capacity) {
     throw std::invalid_argument("Manager: bad node update");
   }
   job.requested_nodes = nodes;
-  if (job.pending()) schedule(now);
+  if (job.pending()) {
+    mark_queue_changed();
+    schedule(now);
+  }
 }
 
 JobId Manager::submit_resizer(JobId parent, int extra_nodes, double now) {
@@ -197,8 +319,13 @@ JobId Manager::submit_resizer(JobId parent, int extra_nodes, double now) {
   spec.time_limit = parent_job.spec.time_limit;
   spec.depends_on = parent;
   spec.internal_resizer = true;
+  // The harvested nodes join the parent's allocation, so they must come
+  // from the parent's eligible pool.
+  spec.partition = parent_job.spec.partition;
   const JobId id = submit(std::move(spec), now);
   // "RJ is set to the maximum priority, facilitating its execution."
+  // submit() already marked the queue changed; no snapshot can have been
+  // rebuilt since, so the boost needs no second invalidation.
   job_mutable(id).priority_boost = true;
   return id;
 }
@@ -231,9 +358,22 @@ PolicyDecision Manager::dmr_decide(JobId id, const DmrRequest& request,
   ++counters_.checks;
   PolicyView view;
   view.job = &job;
-  view.idle_nodes = cluster_.idle();
-  for (const Job* pending : pending_snapshot(now)) {
-    view.pending.push_back(pending);
+  if (job.partition == kAnyPartition) {
+    view.idle_nodes = cluster_.idle();
+    view.pending = pending_snapshot(now);
+  } else {
+    // A pinned job can only grow within — and release nodes back into —
+    // its own partition, so the policy must see that pool and only the
+    // queued jobs its nodes could serve (same partition or unpinned).
+    // Cluster-wide idle would let it negotiate expansions its partition
+    // cannot grant.
+    view.idle_nodes = cluster_.idle_in(job.partition);
+    for (const Job* pending : pending_snapshot(now)) {
+      if (pending->partition == kAnyPartition ||
+          pending->partition == job.partition) {
+        view.pending.push_back(pending);
+      }
+    }
   }
   return reconfiguration_policy(view, request);
 }
@@ -308,6 +448,9 @@ DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
       outcome.draining_nodes.assign(
           job.nodes.end() - release_count, job.nodes.end());
       cluster_.set_draining(outcome.draining_nodes, true);
+      // The imminent releases widen the EASY backfill window (the
+      // drain-aware shadow): the next schedule request must run a pass.
+      placements_dirty_ = true;
       rescale_time_limit(job, now,
                          static_cast<double>(job.allocated()) /
                              static_cast<double>(decision.new_size));
@@ -315,7 +458,10 @@ DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
       if (decision.boost_target != kInvalidJob &&
           config_.shrink_priority_boost) {
         Job& target = job_mutable(decision.boost_target);
-        if (target.pending()) target.priority_boost = true;
+        if (target.pending()) {
+          target.priority_boost = true;
+          mark_queue_changed();
+        }
       }
       ++counters_.shrinks;
       DMR_DEBUG("rms") << "job " << id << " shrinking to "
@@ -347,6 +493,7 @@ void Manager::complete_shrink(JobId id, double now) {
               nodes.end());
   job.requested_nodes = job.allocated();
   ++job.shrinks;
+  mark_queue_changed();
   for (const auto& cb : resize_callbacks_) {
     cb(job, Action::Shrink, old_size, job.allocated(), now);
   }
@@ -363,6 +510,8 @@ void Manager::abort_shrink(JobId id, double now) {
     if (cluster_.node(node_id).draining) draining.push_back(node_id);
   }
   cluster_.set_draining(draining, false);
+  // The releases the drain-aware shadow promised are off again.
+  placements_dirty_ = true;
   DMR_DEBUG("rms") << "job " << id << " shrink aborted at t=" << now;
 }
 
@@ -388,55 +537,53 @@ void Manager::abort_shrink(JobId id, double now) {
   return view;
 }
 
-std::vector<const Job*> Manager::pending_snapshot(double now) const {
-  std::vector<const Job*> pending;
-  for (const auto& [id, job] : jobs_) {
-    if (!job.pending()) continue;
-    if (job.spec.internal_resizer) continue;
-    if (job.spec.depends_on) {
-      const auto it = jobs_.find(*job.spec.depends_on);
-      if (it == jobs_.end() || !it->second.running()) continue;
+const std::vector<const Job*>& Manager::pending_snapshot(double now) const {
+  if (pending_cache_version_ != queue_version_) {
+    pending_cache_.clear();
+    for (const Job* job : pending_jobs_) {
+      if (job->spec.internal_resizer) continue;
+      if (!eligible(*job)) continue;
+      pending_cache_.push_back(job);
     }
-    pending.push_back(&job);
+    pending_cache_version_ = queue_version_;
+    pending_cache_sorted_ = false;
   }
-  std::sort(pending.begin(), pending.end(),
-            [&](const Job* a, const Job* b) {
-              return PendingOrder{now, config_.scheduler.weights}(a, b);
-            });
-  return pending;
+  // Priorities are age-based, so the sort key moves with `now`; relative
+  // order is stable below the age cap, but re-sorting the (small) live
+  // queue is cheap and exact.
+  if (!pending_cache_sorted_ || pending_cache_now_ != now) {
+    std::sort(pending_cache_.begin(), pending_cache_.end(),
+              [&](const Job* a, const Job* b) {
+                return PendingOrder{now, config_.scheduler.weights}(a, b);
+              });
+    pending_cache_now_ = now;
+    pending_cache_sorted_ = true;
+  }
+  return pending_cache_;
 }
 
-std::vector<const Job*> Manager::running_snapshot() const {
-  std::vector<const Job*> running;
-  for (const auto& [id, job] : jobs_) {
-    if (job.running() && !job.spec.internal_resizer) running.push_back(&job);
+const std::vector<const Job*>& Manager::running_snapshot() const {
+  if (running_cache_version_ != queue_version_) {
+    running_cache_.clear();
+    for (const Job* job : running_jobs_) {
+      if (!job->spec.internal_resizer) running_cache_.push_back(job);
+    }
+    // Submission order, matching the pre-cache behaviour (the index list
+    // is unordered because removal swaps with the back).
+    std::sort(running_cache_.begin(), running_cache_.end(),
+              [](const Job* a, const Job* b) { return a->id < b->id; });
+    running_cache_version_ = queue_version_;
   }
-  return running;
-}
-
-std::vector<const Job*> Manager::jobs() const {
-  std::vector<const Job*> all;
-  for (const auto& [id, job] : jobs_) {
-    if (!job.spec.internal_resizer) all.push_back(&job);
-  }
-  return all;
-}
-
-bool Manager::all_done() const {
-  for (const auto& [id, job] : jobs_) {
-    if (job.spec.internal_resizer) continue;
-    if (!job.finished()) return false;
-  }
-  return true;
+  return running_cache_;
 }
 
 void Manager::notify_alloc() {
   if (alloc_callbacks_.empty()) return;
   int allocated = 0;
   int running = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.running() && !job.spec.internal_resizer) {
-      allocated += job.allocated();
+  for (const Job* job : running_jobs_) {
+    if (!job->spec.internal_resizer) {
+      allocated += job->allocated();
       ++running;
     }
   }

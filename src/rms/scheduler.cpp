@@ -5,23 +5,136 @@
 
 namespace dmr::rms {
 
-double shadow_time(const ScheduleView& view, int needed, int* extra_nodes) {
-  // Sort running jobs by expected completion; accumulate released nodes
-  // until the requirement is met.
+namespace {
+
+/// Synthetic node id used for jobs the pass just decided to start on a
+/// homogeneous cluster (their concrete ids are unknown until the cluster
+/// grants them).  Freshly granted nodes are never draining and belong to
+/// every pool of interest there.
+constexpr int kSyntheticNode = -1;
+
+/// Mutable idle bookkeeping shared by the FCFS and backfill phases.  In
+/// heterogeneous mode it mirrors the cluster's lowest-id-first grant
+/// order so per-partition idle counts stay exact as jobs are picked.
+struct IdlePool {
+  const ScheduleView* view;
+  int idle_total;
+  std::vector<int> idle_parts;  // empty = homogeneous
+  std::vector<int> idle_ids;    // empty = homogeneous
+
+  explicit IdlePool(const ScheduleView& v)
+      : view(&v),
+        idle_total(v.idle_nodes),
+        idle_parts(v.idle_per_partition),
+        idle_ids(v.idle_node_ids) {}
+
+  bool heterogeneous() const { return !idle_parts.empty(); }
+
+  bool eligible(int node_id, int partition) const {
+    return partition < 0 ||
+           view->node_partition[static_cast<std::size_t>(node_id)] ==
+               partition;
+  }
+
+  int available_for(const Job& job) const {
+    if (!heterogeneous() || job.partition < 0) return idle_total;
+    return idle_parts[static_cast<std::size_t>(job.partition)];
+  }
+
+  bool fits(const Job& job) const {
+    return job.requested_nodes > 0 && job.requested_nodes <= available_for(job);
+  }
+
+  /// Nodes the job would take from `partition`, without committing.
+  int count_take_in(const Job& job, int partition) const {
+    if (!heterogeneous()) return job.requested_nodes;
+    int remaining = job.requested_nodes;
+    int in_partition = 0;
+    for (int id : idle_ids) {
+      if (remaining == 0) break;
+      if (!eligible(id, job.partition)) continue;
+      --remaining;
+      if (view->node_partition[static_cast<std::size_t>(id)] == partition) {
+        ++in_partition;
+      }
+    }
+    return in_partition;
+  }
+
+  /// Commit the grant; returns the taken node ids (empty in homogeneous
+  /// mode, where concrete ids are unknown to the pass).
+  std::vector<int> take(const Job& job) {
+    idle_total -= job.requested_nodes;
+    if (!heterogeneous()) return {};
+    std::vector<int> taken;
+    taken.reserve(static_cast<std::size_t>(job.requested_nodes));
+    std::vector<int> kept;
+    kept.reserve(idle_ids.size());
+    int remaining = job.requested_nodes;
+    for (int id : idle_ids) {
+      if (remaining > 0 && eligible(id, job.partition)) {
+        --remaining;
+        --idle_parts[static_cast<std::size_t>(
+            view->node_partition[static_cast<std::size_t>(id)])];
+        taken.push_back(id);
+      } else {
+        kept.push_back(id);
+      }
+    }
+    idle_ids.swap(kept);
+    return taken;
+  }
+};
+
+}  // namespace
+
+double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
+                   int pool) {
+  const bool pooled = pool >= 0 && view.heterogeneous();
+  const auto in_pool = [&](int node_id) {
+    if (!pooled) return true;
+    return node_id >= 0 &&
+           view.node_partition[static_cast<std::size_t>(node_id)] == pool;
+  };
+  const auto is_draining = [&](int node_id) {
+    return node_id >= 0 && !view.node_draining.empty() &&
+           view.node_draining[static_cast<std::size_t>(node_id)] != 0;
+  };
+
+  // Accumulate expected releases in time order until the requirement is
+  // met.  A job releases its draining nodes at `now` (the shrink drain
+  // completes imminently, well before the time limit) and the rest of its
+  // allocation at start_time + time_limit.
   struct Release {
     double time;
     int nodes;
   };
   std::vector<Release> releases;
-  releases.reserve(view.running.size());
+  releases.reserve(view.running.size() * 2);
   for (const Job* job : view.running) {
-    const double expected_end =
-        std::max(view.now, job->start_time + job->spec.time_limit);
-    releases.push_back(Release{expected_end, job->allocated()});
+    int pool_nodes = 0;
+    int draining = 0;
+    for (int node_id : job->nodes) {
+      if (!in_pool(node_id)) continue;
+      ++pool_nodes;
+      if (is_draining(node_id)) ++draining;
+    }
+    if (draining > 0) releases.push_back(Release{view.now, draining});
+    if (pool_nodes - draining > 0) {
+      const double expected_end =
+          std::max(view.now, job->start_time + job->spec.time_limit);
+      releases.push_back(Release{expected_end, pool_nodes - draining});
+    }
   }
   std::sort(releases.begin(), releases.end(),
             [](const Release& a, const Release& b) { return a.time < b.time; });
-  int free_nodes = view.idle_nodes;
+  int free_nodes = pooled ? view.idle_per_partition[static_cast<std::size_t>(
+                                pool)]
+                          : view.idle_nodes;
+  if (free_nodes >= needed) {
+    if (extra_nodes != nullptr) *extra_nodes = free_nodes - needed;
+    return view.now;
+  }
   for (const Release& release : releases) {
     free_nodes += release.nodes;
     if (free_nodes >= needed) {
@@ -40,53 +153,76 @@ std::vector<Job*> schedule_pass(const ScheduleView& view,
             PendingOrder{view.now, config.weights});
 
   std::vector<Job*> started;
-  int idle = view.idle_nodes;
+  IdlePool pool(view);
+  // Node ids granted to each started job (synthetic on a homogeneous
+  // cluster), for the shadow computation below.
+  std::vector<std::vector<int>> granted;
 
   // Start jobs FCFS until the head no longer fits.
   std::size_t head = 0;
-  while (head < queue.size() && queue[head]->requested_nodes <= idle) {
-    idle -= queue[head]->requested_nodes;
+  while (head < queue.size() && pool.fits(*queue[head])) {
+    granted.push_back(pool.take(*queue[head]));
     started.push_back(queue[head]);
     ++head;
   }
   if (head >= queue.size() || !config.backfill) return started;
 
-  // EASY reservation for the blocked head job.  The shadow computation
-  // must see the post-start idle count but the same running set: jobs we
-  // just chose to start have unknown end times only through their limits,
-  // so conservatively treat them as running from `now`.
+  // EASY reservation for the blocked head job, computed in the head's
+  // eligible pool (its partition, or the whole cluster when
+  // unconstrained).  The shadow computation must see the post-start idle
+  // count but the same running set: jobs we just chose to start have
+  // unknown end times only through their limits, so conservatively treat
+  // them as running from `now`.
+  Job* head_job = queue[head];
+  const int head_pool = view.heterogeneous() ? head_job->partition : -1;
+
   ScheduleView shadow_view = view;
-  shadow_view.idle_nodes = idle;
-  // Started-but-not-yet-stamped jobs have start_time < 0; give the shadow
-  // computation a defensible estimate by treating them as starting now.
+  shadow_view.idle_nodes = pool.idle_total;
+  shadow_view.idle_per_partition = pool.idle_parts;
+  shadow_view.idle_node_ids = pool.idle_ids;
   std::vector<Job> synthetic;
   synthetic.reserve(started.size());
-  shadow_view.running.clear();
-  for (const Job* job : view.running) shadow_view.running.push_back(job);
-  for (Job* job : started) {
-    Job copy = *job;
+  for (std::size_t i = 0; i < started.size(); ++i) {
+    Job copy = *started[i];
     copy.start_time = view.now;
-    copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes), 0);
+    if (granted[i].empty()) {
+      copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes),
+                        kSyntheticNode);
+    } else {
+      copy.nodes = granted[i];
+    }
     synthetic.push_back(std::move(copy));
   }
   for (const Job& job : synthetic) shadow_view.running.push_back(&job);
 
   int extra_at_shadow = 0;
-  const double shadow =
-      shadow_time(shadow_view, queue[head]->requested_nodes, &extra_at_shadow);
+  const double shadow = shadow_time(shadow_view, head_job->requested_nodes,
+                                    &extra_at_shadow, head_pool);
 
-  // Backfill: later jobs may start now if they fit and either complete
-  // before the shadow time or leave the reserved nodes untouched.
+  // Backfill: later jobs may start now if they fit and cannot delay the
+  // head — they complete before the shadow time, draw from a partition
+  // disjoint from the head's pool, or take no more of the head's pool
+  // than the backfill window (the nodes beyond the head's need free at
+  // the shadow time).
   int backfill_window = extra_at_shadow;
   for (std::size_t i = head + 1; i < queue.size(); ++i) {
     Job* job = queue[i];
-    if (job->requested_nodes > idle) continue;
+    if (!pool.fits(*job)) continue;
+    const bool disjoint = head_pool >= 0 && job->partition >= 0 &&
+                          job->partition != head_pool;
     const bool ends_before_shadow =
         view.now + job->spec.time_limit <= shadow;
-    const bool fits_window = job->requested_nodes <= backfill_window;
-    if (!ends_before_shadow && !fits_window) continue;
-    idle -= job->requested_nodes;
-    if (!ends_before_shadow) backfill_window -= job->requested_nodes;
+    if (disjoint || ends_before_shadow) {
+      pool.take(*job);
+      started.push_back(job);
+      continue;
+    }
+    // Nodes this job would take from the head's contended pool.
+    const int overlap = head_pool >= 0 ? pool.count_take_in(*job, head_pool)
+                                       : job->requested_nodes;
+    if (overlap > backfill_window) continue;
+    pool.take(*job);
+    backfill_window -= overlap;
     started.push_back(job);
   }
   return started;

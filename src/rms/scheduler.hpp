@@ -5,8 +5,18 @@
 // values").  The pass is a pure function over a snapshot of the system so
 // it can be unit-tested exhaustively and reused by both the virtual-time
 // and the real-time managers.
+//
+// Two snapshot extensions beyond the plain homogeneous view:
+//  - per-node draining flags: a shrinking job's draining nodes are
+//    released as soon as the drain protocol completes, not at the job's
+//    time limit, so the EASY reservation treats them as imminent;
+//  - heterogeneous partitions: per-partition idle counts plus the idle
+//    node-id list (mirroring the cluster's lowest-id-first grant order)
+//    let the pass place partition-constrained jobs and keep the EASY
+//    reservation per-pool.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "rms/job.hpp"
@@ -27,19 +37,35 @@ struct ScheduleView {
   std::vector<Job*> pending;
   /// Running jobs, used to estimate the backfill shadow time.
   std::vector<const Job*> running;
+  /// Draining flag per node id (empty = nothing draining).  Draining
+  /// nodes release at `now` for shadow purposes.
+  std::vector<std::uint8_t> node_draining;
+  /// Heterogeneous clusters only (all three empty on the homogeneous
+  /// fast path): partition index per node id, idle count per partition,
+  /// and the sorted idle node ids the cluster would grant next.
+  std::vector<int> node_partition;
+  std::vector<int> idle_per_partition;
+  std::vector<int> idle_node_ids;
+
+  bool heterogeneous() const { return !idle_per_partition.empty(); }
 };
 
 /// Decide which pending jobs to start now, in start order.  Guarantees:
-///  - total requested nodes of the result never exceeds idle_nodes;
+///  - total requested nodes of the result never exceeds idle_nodes (and,
+///    per partition-constrained job, that partition's idle count);
 ///  - the highest-priority blocked job is never delayed by a backfilled
-///    one (EASY reservation based on running jobs' time limits).
+///    one (EASY reservation based on running jobs' expected releases).
 std::vector<Job*> schedule_pass(const ScheduleView& view,
                                 const SchedulerConfig& config);
 
-/// Earliest time at which `needed` nodes are expected to be free, given
-/// current idle nodes and running jobs' expected completions.  Returns the
-/// shadow time and, through `extra_nodes`, how many nodes beyond `needed`
-/// will be free then (the backfill window width).
-double shadow_time(const ScheduleView& view, int needed, int* extra_nodes);
+/// Earliest time at which `needed` nodes are expected to be free in
+/// `pool` (a partition index, or -1 for the whole cluster), given current
+/// idle nodes and running jobs' expected releases.  Draining nodes count
+/// as released at `view.now`; the rest of a job's allocation at
+/// `start_time + time_limit`.  Returns the shadow time and, through
+/// `extra_nodes`, how many nodes beyond `needed` will be free then (the
+/// backfill window width).
+double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
+                   int pool = -1);
 
 }  // namespace dmr::rms

@@ -60,17 +60,18 @@ bool Engine::step() {
 }
 
 std::size_t Engine::run(std::size_t limit) {
-  stop_requested_ = false;
+  // Deliberately no reset here: a stop() issued before the call halts the
+  // run before the first event (it used to be silently dropped).
   std::size_t count = 0;
   while (count < limit && !stop_requested_) {
     if (!step()) break;
     ++count;
   }
+  stop_requested_ = false;  // consume the request, if any
   return count;
 }
 
 std::size_t Engine::run_until(SimTime t_end) {
-  stop_requested_ = false;
   std::size_t count = 0;
   while (!stop_requested_) {
     if (queue_.empty()) break;
@@ -87,6 +88,11 @@ std::size_t Engine::run_until(SimTime t_end) {
     if (top.time > t_end) break;
     if (!step()) break;
     ++count;
+  }
+  // A stop means "freeze now": the clock does not advance to t_end.
+  if (stop_requested_) {
+    stop_requested_ = false;
+    return count;
   }
   if (now_ < t_end) now_ = t_end;
   return count;

@@ -38,7 +38,9 @@ class Engine {
   /// was cancelled, or never existed.
   bool cancel(EventId id);
 
-  bool pending(EventId id) const { return cancelled_.count(id) == 0 && live_.count(id) != 0; }
+  bool pending(EventId id) const {
+    return cancelled_.count(id) == 0 && live_.count(id) != 0;
+  }
 
   /// Number of events still queued (including not-yet-collected cancelled
   /// entries; use empty() for a precise emptiness check).
@@ -53,10 +55,18 @@ class Engine {
   std::size_t run(std::size_t limit = std::numeric_limits<std::size_t>::max());
 
   /// Run events with time <= t_end, then advance the clock to t_end.
+  /// A stop request (pre-run or mid-run) freezes the clock where it is
+  /// instead of advancing it to t_end.
   std::size_t run_until(SimTime t_end);
 
-  /// Request that run() returns after the current event completes.
+  /// Request that run()/run_until() return after the current event
+  /// completes.  A stop issued *before* the call halts it before the
+  /// first event fires.  The request is consumed when the run returns,
+  /// so a subsequent run proceeds normally.
   void stop() { stop_requested_ = true; }
+
+  /// True when a stop() has been requested and not yet consumed by a run.
+  bool stop_pending() const { return stop_requested_; }
 
   /// Events executed so far (monotone counter, for tests/telemetry).
   std::uint64_t executed() const { return executed_; }

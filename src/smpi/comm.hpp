@@ -97,7 +97,9 @@ class Comm {
       throw SmpiError("recv: payload size not a multiple of element size");
     }
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Guard the empty payload: memcpy's pointer arguments are declared
+    // non-null, and a zero-length message carries a null data().
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 

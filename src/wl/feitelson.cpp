@@ -91,6 +91,36 @@ std::vector<SyntheticJob> generate_feitelson(const FeitelsonParams& params) {
   return jobs;
 }
 
+double feitelson_balanced_interarrival(const FeitelsonParams& params,
+                                       int nodes, double target_load) {
+  if (nodes <= 0 || target_load <= 0.0 || target_load > 1.0) {
+    throw std::invalid_argument(
+        "feitelson_balanced_interarrival: bad nodes/target_load");
+  }
+  // E[size * runtime] from the same distributions the generator samples:
+  // size weights, and per-size hyperexponential means (mirroring
+  // feitelson_runtime's branch probability and long-branch scaling).
+  const auto weights = feitelson_size_weights(params.max_size,
+                                              params.pow2_boost);
+  double weight_sum = 0.0;
+  double node_seconds = 0.0;
+  for (int size = 1; size <= params.max_size; ++size) {
+    const double w = weights[static_cast<std::size_t>(size - 1)];
+    const double size_fraction =
+        static_cast<double>(size) / static_cast<double>(params.max_size);
+    const double p_short =
+        std::clamp(0.85 - 0.35 * size_fraction, 0.3, 0.95);
+    const double long_mean =
+        params.long_runtime_mean * (0.5 + 0.5 * size_fraction + size_fraction);
+    const double mean_runtime =
+        p_short * params.short_runtime_mean + (1.0 - p_short) * long_mean;
+    weight_sum += w;
+    node_seconds += w * static_cast<double>(size) * mean_runtime;
+  }
+  node_seconds /= weight_sum;
+  return node_seconds / (static_cast<double>(nodes) * target_load);
+}
+
 WorkloadStats workload_stats(const std::vector<SyntheticJob>& jobs) {
   WorkloadStats stats;
   if (jobs.empty()) return stats;

@@ -56,6 +56,16 @@ double feitelson_runtime(util::Rng& rng, int size,
 /// Generate the full workload (sorted by arrival time).
 std::vector<SyntheticJob> generate_feitelson(const FeitelsonParams& params);
 
+/// Mean inter-arrival time that offers `target_load` (0..1] of a
+/// `nodes`-node cluster, from the model's expected node-seconds per job:
+/// interarrival = E[size * runtime] / (nodes * target_load).  Runtime
+/// clamps (1 s floor, max_runtime cap) are ignored, so the estimate is
+/// slightly optimistic for heavily capped configurations.  Lets scenario
+/// sweeps scale trace length and cluster size while keeping queues
+/// comparably loaded.
+double feitelson_balanced_interarrival(const FeitelsonParams& params,
+                                       int nodes, double target_load);
+
 /// Summary statistics used by distribution sanity tests.
 struct WorkloadStats {
   double mean_size = 0.0;

@@ -214,6 +214,84 @@ TEST(Driver, UtilizationWithinBounds) {
   EXPECT_LE(metrics.utilization, 1.0);
 }
 
+TEST(Driver, UtilizationWindowStartsAtFirstArrival) {
+  // One 4-node job on an 8-node cluster, arriving at t=100 and running
+  // 40 s: utilization must be 0.5 over [100, 140], not diluted by the
+  // empty lead-in to ~0.14 over [0, 140].
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(100.0, 4, 40.0, 2, /*flexible=*/false));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_NEAR(metrics.makespan, 140.0, 1e-9);
+  EXPECT_NEAR(metrics.utilization, 0.5, 1e-9);
+}
+
+DriverConfig heterogeneous_config() {
+  DriverConfig config;
+  config.rms.partitions = {rms::Partition{"fast", 4, 1.0},
+                           rms::Partition{"slow", 4, 0.5}};
+  return config;
+}
+
+JobPlan pinned_plan(const char* partition, double runtime, int steps) {
+  JobPlan plan = fs_plan(0.0, 4, runtime, steps, /*flexible=*/false, 4);
+  plan.partition = partition;
+  return plan;
+}
+
+TEST(Driver, SlowPartitionScalesStepTime) {
+  // The same job pinned to half-speed nodes takes exactly twice as long.
+  double fast_makespan = 0.0;
+  {
+    sim::Engine engine;
+    WorkloadDriver driver(engine, heterogeneous_config());
+    driver.add(pinned_plan("fast", 40.0, 2));
+    fast_makespan = driver.run().makespan;
+  }
+  sim::Engine engine;
+  WorkloadDriver driver(engine, heterogeneous_config());
+  driver.add(pinned_plan("slow", 40.0, 2));
+  const double slow_makespan = driver.run().makespan;
+  EXPECT_NEAR(fast_makespan, 40.0, 1e-9);
+  EXPECT_NEAR(slow_makespan, 80.0, 1e-9);
+}
+
+TEST(Driver, SpanningJobGatedBySlowestNode) {
+  // 6 nodes requested on a 4+4 heterogeneous cluster: the allocation
+  // spans into the slow partition and the whole job steps at 0.5x.
+  sim::Engine engine;
+  WorkloadDriver driver(engine, heterogeneous_config());
+  driver.add(fs_plan(0.0, 6, 60.0, 2, /*flexible=*/false, 6));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_NEAR(metrics.makespan, 120.0, 1e-9);
+}
+
+TEST(Driver, PartitionUtilizationReported) {
+  sim::Engine engine;
+  WorkloadDriver driver(engine, heterogeneous_config());
+  driver.add(pinned_plan("fast", 40.0, 2));
+  driver.add(pinned_plan("slow", 40.0, 2));
+  const WorkloadMetrics metrics = driver.run();
+  ASSERT_EQ(metrics.partitions.size(), 2u);
+  EXPECT_EQ(metrics.partitions[0].name, "fast");
+  EXPECT_EQ(metrics.partitions[1].name, "slow");
+  // The slow job runs twice as long on its half of the cluster, so its
+  // partition is busier over the common window.
+  EXPECT_GT(metrics.partitions[1].utilization,
+            metrics.partitions[0].utilization);
+  for (const auto& part : metrics.partitions) {
+    EXPECT_GT(part.utilization, 0.0);
+    EXPECT_LE(part.utilization, 1.0);
+  }
+}
+
+TEST(Driver, ScheduleTelemetryExposed) {
+  const auto metrics = run_fs_workload(15, true, false, 42);
+  EXPECT_GT(metrics.schedule_passes, 0);
+  EXPECT_GT(metrics.schedule_passes_saved, 0);
+  EXPECT_GE(metrics.schedule_requests, metrics.schedule_passes);
+}
+
 TEST(Driver, TraceSeriesRecorded) {
   sim::Engine engine;
   WorkloadDriver driver(engine, small_config(8));

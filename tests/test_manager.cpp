@@ -305,6 +305,153 @@ TEST(Manager, GuardsStateTransitions) {
   EXPECT_THROW(m.job(999), std::out_of_range);
 }
 
+TEST(Manager, ScheduleIsIncremental) {
+  Manager m(config(8));
+  m.submit(spec("a", 4), 0.0);
+  const auto first = m.schedule(0.0);
+  EXPECT_EQ(first.size(), 1u);
+  const auto passes = m.counters().schedule_passes;
+  // No placement-relevant event since the last pass: the request is
+  // short-circuited.
+  EXPECT_TRUE(m.schedule(1.0).empty());
+  EXPECT_TRUE(m.schedule(2.0).empty());
+  EXPECT_EQ(m.counters().schedule_passes, passes);
+  EXPECT_GE(m.counters().schedule_passes_saved, 2);
+  EXPECT_EQ(m.counters().schedule_requests, passes + 2);
+  // A submission re-arms the pass.
+  m.submit(spec("b", 4), 3.0);
+  EXPECT_EQ(m.schedule(3.0).size(), 1u);
+  EXPECT_GT(m.counters().schedule_passes, passes);
+}
+
+TEST(Manager, SnapshotsAreCachedAndInvalidate) {
+  Manager m(config(8));
+  const JobId a = m.submit(spec("a", 8), 0.0);
+  const JobId b = m.submit(spec("b", 4), 1.0);
+  m.schedule(1.0);
+  EXPECT_TRUE(m.job(a).running());
+  const auto& pending = m.pending_snapshot(2.0);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0]->id, b);
+  // Same state: the cached snapshot is reused, element storage included.
+  const Job* const* storage = pending.data();
+  EXPECT_EQ(m.pending_snapshot(2.0).data(), storage);
+  const auto& running = m.running_snapshot();
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_EQ(running[0]->id, a);
+  m.job_finished(a, 3.0);
+  EXPECT_TRUE(m.job(b).running());
+  EXPECT_TRUE(m.pending_snapshot(3.0).empty());
+  ASSERT_EQ(m.running_snapshot().size(), 1u);
+  EXPECT_EQ(m.running_snapshot()[0]->id, b);
+}
+
+RmsConfig heterogeneous_config() {
+  RmsConfig c;
+  c.partitions = {Partition{"fast", 4, 1.0}, Partition{"slow", 4, 0.5}};
+  return c;
+}
+
+TEST(Manager, PartitionConstrainedSubmission) {
+  Manager m(heterogeneous_config());
+  EXPECT_EQ(m.cluster().size(), 8);
+  JobSpec pinned = spec("pinned", 3);
+  pinned.partition = "slow";
+  const JobId id = m.submit(pinned, 0.0);
+  m.schedule(0.0);
+  ASSERT_TRUE(m.job(id).running());
+  for (int node : m.job(id).nodes) {
+    EXPECT_EQ(m.cluster().node(node).partition, 1);
+  }
+  // Unknown partitions and over-partition requests are rejected.
+  JobSpec unknown = spec("x", 2);
+  unknown.partition = "gpu";
+  EXPECT_THROW(m.submit(unknown, 1.0), std::invalid_argument);
+  JobSpec oversize = spec("y", 5);
+  oversize.partition = "slow";
+  EXPECT_THROW(m.submit(oversize, 1.0), std::invalid_argument);
+}
+
+TEST(Manager, MoldableHeadMoldsInSamePassAsBackfill) {
+  // A pass that starts a rigid backfill job must still give a moldable
+  // head its molding round before settling (regression: the incremental
+  // fixpoint once broke out early and left the head pending).
+  Manager m(config(10));
+  m.submit(spec("hog", 4, 4, 4, 0, false), 0.0);
+  m.schedule(0.0);
+  JobSpec moldable = spec("mold", 10, 2, 10);
+  moldable.moldable = true;
+  const JobId b = m.submit(moldable, 1.0);
+  JobSpec short_rigid = spec("short", 4, 4, 4, 0, false);
+  short_rigid.time_limit = 50.0;
+  const JobId c = m.submit(short_rigid, 2.0);
+  m.schedule(2.0);
+  EXPECT_TRUE(m.job(c).running());  // backfilled around the blocked head
+  ASSERT_TRUE(m.job(b).running());  // molded onto the remaining nodes
+  EXPECT_EQ(m.job(b).allocated(), 2);
+}
+
+TEST(Manager, UpdateRespectsPartitionCapacity) {
+  Manager m(heterogeneous_config());
+  JobSpec pinned = spec("pinned", 2);
+  pinned.partition = "slow";
+  const JobId id = m.submit(pinned, 0.0);
+  // The slow partition only has 4 nodes; 5 would be unstartable forever.
+  EXPECT_THROW(m.update_requested_nodes(id, 5, 1.0), std::invalid_argument);
+  m.update_requested_nodes(id, 4, 1.0);
+  ASSERT_TRUE(m.job(id).running());
+  EXPECT_EQ(m.job(id).allocated(), 4);
+}
+
+TEST(Manager, PinnedExpandCappedByPartitionIdle) {
+  // Regression: the policy once saw cluster-wide idle (6 nodes) and
+  // granted an expansion the 4-node partition could not hold, making
+  // submit_resizer throw out of dmr_check.
+  Manager m(heterogeneous_config());
+  JobSpec pinned = spec("pinned", 2, 1, 32);
+  pinned.partition = "fast";
+  const JobId id = m.submit(pinned, 0.0);
+  m.schedule(0.0);
+  const DmrOutcome outcome = m.dmr_check(id, request(1, 32), 1.0);
+  EXPECT_EQ(outcome.action, Action::Expand);
+  EXPECT_EQ(m.job(id).allocated(), 4);  // the whole partition, no more
+}
+
+TEST(Manager, PinnedJobIgnoresForeignPartitionQueue) {
+  // A job queued for the *other* partition cannot be served by this
+  // job's nodes, so it must not trigger a futile shrink.
+  Manager m(heterogeneous_config());
+  JobSpec hog = spec("hog", 4, 4, 4, 0, false);
+  hog.partition = "slow";
+  m.submit(hog, 0.0);
+  JobSpec pinned = spec("a", 4, 1, 4);
+  pinned.partition = "fast";
+  const JobId a = m.submit(pinned, 0.0);
+  m.schedule(0.0);
+  JobSpec waiting = spec("b", 4, 4, 4, 0, false);
+  waiting.partition = "slow";
+  const JobId b = m.submit(waiting, 1.0);
+  m.schedule(1.0);
+  EXPECT_TRUE(m.job(b).pending());
+  const DmrOutcome outcome = m.dmr_check(a, request(1, 4), 2.0);
+  EXPECT_EQ(outcome.action, Action::None);
+  EXPECT_EQ(m.job(a).allocated(), 4);
+}
+
+TEST(Manager, ExpandInheritsPartitionConstraint) {
+  Manager m(heterogeneous_config());
+  JobSpec pinned = spec("pinned", 2, 1, 4);
+  pinned.partition = "slow";
+  const JobId id = m.submit(pinned, 0.0);
+  m.schedule(0.0);
+  const DmrOutcome outcome = m.dmr_check(id, request(1, 4), 1.0);
+  EXPECT_EQ(outcome.action, Action::Expand);
+  EXPECT_EQ(m.job(id).allocated(), 4);
+  for (int node : m.job(id).nodes) {
+    EXPECT_EQ(m.cluster().node(node).partition, 1);
+  }
+}
+
 TEST(Manager, WaitExecCompletionArithmetic) {
   Manager m(config(4));
   const JobId a = m.submit(spec("a", 4), 10.0);

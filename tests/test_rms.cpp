@@ -262,6 +262,238 @@ TEST(Scheduler, PriorityOrderRespected) {
   EXPECT_EQ(started[0]->id, 2);
 }
 
+TEST(Scheduler, PassWithZeroIdleNodesStartsNothing) {
+  Job running = make_job(10, 8, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  Job a = make_job(1, 4, 1.0);
+  Job b = make_job(2, 1, 2.0);
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 0;
+  view.pending = {&a, &b};
+  view.running = {&running};
+  EXPECT_TRUE(schedule_pass(view, SchedulerConfig{}).empty());
+}
+
+TEST(Scheduler, BackfillNeverDelaysBoostedHead) {
+  // A shrink boosted the late 4-node job to the queue head; a greedy
+  // long job that would squat on the head's reservation must not start.
+  Job running = make_job(10, 4, 0.0);
+  running.state = JobState::Running;
+  running.start_time = 0.0;
+  running.spec.time_limit = 100.0;
+  running.nodes = {0, 1, 2, 3};
+
+  Job boosted = make_job(1, 8, 50.0);
+  boosted.priority_boost = true;
+  Job greedy = make_job(2, 4, 2.0);
+  greedy.spec.time_limit = 1000.0;
+  Job small = make_job(3, 4, 3.0);
+  small.spec.time_limit = 30.0;  // ends before the shadow at t=100
+
+  ScheduleView view;
+  view.now = 60.0;
+  view.idle_nodes = 4;
+  view.pending = {&greedy, &boosted, &small};
+  view.running = {&running};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 3);
+}
+
+TEST(Scheduler, ShadowTreatsDrainingNodesAsImminentRelease) {
+  // Job 10 is shrinking: nodes 2 and 3 drain as soon as the protocol
+  // completes, not at start_time + time_limit.
+  Job shrinking = make_job(10, 4, 0.0);
+  shrinking.state = JobState::Running;
+  shrinking.start_time = 0.0;
+  shrinking.spec.time_limit = 1000.0;
+  shrinking.nodes = {0, 1, 2, 3};
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 0;
+  view.running = {&shrinking};
+  view.node_draining = {0, 0, 1, 1};
+  int extra = -1;
+  EXPECT_DOUBLE_EQ(shadow_time(view, 2, &extra), 10.0);
+  EXPECT_EQ(extra, 0);
+  // The surviving half still releases at the time limit.
+  EXPECT_DOUBLE_EQ(shadow_time(view, 4, &extra), 1000.0);
+}
+
+TEST(Scheduler, BackfillDoesNotSquatOnDrainReleasedNodes) {
+  // 6 nodes: a hog holds 4 (2 draining, long time limit), 2 idle.  The
+  // head needs 4 and will get them as soon as the drain completes; a
+  // long 2-node job must not grab the idle nodes and delay it.  Before
+  // the drain-aware shadow fix the reservation sat at the hog's time
+  // limit and the greedy job backfilled.
+  Job hog = make_job(10, 4, 0.0);
+  hog.state = JobState::Running;
+  hog.start_time = 0.0;
+  hog.spec.time_limit = 1000.0;
+  hog.nodes = {0, 1, 2, 3};
+
+  Job head = make_job(1, 4, 1.0);
+  Job greedy = make_job(2, 2, 2.0);
+  greedy.spec.time_limit = 500.0;
+
+  ScheduleView view;
+  view.now = 10.0;
+  view.idle_nodes = 2;
+  view.pending = {&head, &greedy};
+  view.running = {&hog};
+  view.node_draining = {0, 0, 1, 1, 0, 0};
+  EXPECT_TRUE(schedule_pass(view, SchedulerConfig{}).empty());
+}
+
+TEST(Cluster, HeterogeneousPartitions) {
+  Cluster cluster({Partition{"fast", 4, 1.0}, Partition{"slow", 2, 0.5}});
+  EXPECT_EQ(cluster.size(), 6);
+  EXPECT_EQ(cluster.partition_count(), 2);
+  EXPECT_EQ(cluster.partition_index("slow"), 1);
+  EXPECT_EQ(cluster.partition_index("nope"), kAnyPartition);
+  EXPECT_EQ(cluster.node_name(0), "fast0");
+  EXPECT_EQ(cluster.node_name(4), "slow0");
+  EXPECT_EQ(cluster.idle_in(0), 4);
+  EXPECT_EQ(cluster.idle_in(1), 2);
+  EXPECT_DOUBLE_EQ(cluster.node(5).speed, 0.5);
+  EXPECT_DOUBLE_EQ(cluster.min_speed({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.min_speed({0, 5}), 0.5);
+}
+
+TEST(Cluster, PartitionConstrainedAllocation) {
+  Cluster cluster({Partition{"fast", 4, 1.0}, Partition{"slow", 2, 0.5}});
+  const auto slow = cluster.allocate(1, 2, 1);
+  EXPECT_EQ(slow, (std::vector<int>{4, 5}));
+  EXPECT_EQ(cluster.idle_in(1), 0);
+  EXPECT_EQ(cluster.idle(), 4);
+  EXPECT_THROW(cluster.allocate(2, 1, 1), std::runtime_error);
+  // Unconstrained allocation draws from the remaining partition.
+  const auto any = cluster.allocate(2, 3, kAnyPartition);
+  EXPECT_EQ(any, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(cluster.idle_in(0), 1);
+  cluster.release(1, slow);
+  EXPECT_EQ(cluster.idle_in(1), 2);
+}
+
+TEST(Cluster, DrainingCountTracksFlags) {
+  Cluster cluster(4);
+  const auto nodes = cluster.allocate(1, 3);
+  EXPECT_EQ(cluster.draining_count(), 0);
+  cluster.set_draining({nodes[0], nodes[1]}, true);
+  cluster.set_draining({nodes[1]}, true);  // idempotent
+  EXPECT_EQ(cluster.draining_count(), 2);
+  const auto flags = cluster.draining_flags();
+  EXPECT_EQ(flags[0], 1);
+  EXPECT_EQ(flags[2], 0);
+  cluster.release(1, {nodes[0]});
+  EXPECT_EQ(cluster.draining_count(), 1);
+  cluster.set_draining({nodes[1]}, false);
+  EXPECT_EQ(cluster.draining_count(), 0);
+}
+
+ScheduleView heterogeneous_view(double now) {
+  // 4 fast nodes (0-3), 2 slow nodes (4-5), all idle.
+  ScheduleView view;
+  view.now = now;
+  view.idle_nodes = 6;
+  view.node_partition = {0, 0, 0, 0, 1, 1};
+  view.idle_per_partition = {4, 2};
+  view.idle_node_ids = {0, 1, 2, 3, 4, 5};
+  return view;
+}
+
+TEST(Scheduler, PartitionConstrainedJobWaitsForItsPartition) {
+  // The slow partition only has 2 nodes: a 3-node job pinned there must
+  // not start even though the cluster has 6 idle nodes overall.
+  Job pinned = make_job(1, 3, 0.0);
+  pinned.partition = 1;
+  ScheduleView view = heterogeneous_view(10.0);
+  view.pending = {&pinned};
+  EXPECT_TRUE(schedule_pass(view, SchedulerConfig{}).empty());
+}
+
+TEST(Scheduler, DisjointPartitionBackfillsPastBlockedHead) {
+  // Head pinned to the full fast partition; a job pinned to the slow
+  // partition cannot delay it and starts immediately, however long it
+  // runs.
+  Job hog = make_job(10, 4, 0.0);
+  hog.state = JobState::Running;
+  hog.start_time = 0.0;
+  hog.spec.time_limit = 100.0;
+  hog.nodes = {0, 1, 2, 3};
+  hog.partition = 0;
+
+  Job head = make_job(1, 4, 1.0);
+  head.partition = 0;
+  Job other = make_job(2, 2, 2.0);
+  other.partition = 1;
+  other.spec.time_limit = 100000.0;
+
+  ScheduleView view = heterogeneous_view(10.0);
+  view.idle_nodes = 2;
+  view.idle_per_partition = {0, 2};
+  view.idle_node_ids = {4, 5};
+  view.pending = {&head, &other};
+  view.running = {&hog};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 2);
+}
+
+TEST(Scheduler, SpanningJobChargedAgainstHeadPoolWindow) {
+  // Head pinned to fast (all 4 busy until t=100); an unconstrained long
+  // 2-node job would take slow nodes first (lowest ids available are
+  // slow here) — it only overlaps the head's pool if it draws fast
+  // nodes.  With the fast partition fully busy and idle nodes only in
+  // slow, the overlap is zero and the job may start.
+  Job hog = make_job(10, 4, 0.0);
+  hog.state = JobState::Running;
+  hog.start_time = 0.0;
+  hog.spec.time_limit = 100.0;
+  hog.nodes = {0, 1, 2, 3};
+  hog.partition = 0;
+
+  Job head = make_job(1, 2, 1.0);
+  head.partition = 0;
+  Job spanning = make_job(2, 2, 2.0);
+  spanning.spec.time_limit = 100000.0;  // far past the shadow
+
+  ScheduleView view = heterogeneous_view(10.0);
+  view.idle_nodes = 2;
+  view.idle_per_partition = {0, 2};
+  view.idle_node_ids = {4, 5};
+  view.pending = {&head, &spanning};
+  view.running = {&hog};
+  const auto started = schedule_pass(view, SchedulerConfig{});
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->id, 2);
+}
+
+TEST(Scheduler, ShadowTimePerPool) {
+  // Fast pool: hog releases 4 at t=100.  Slow pool: free already.
+  Job hog = make_job(10, 4, 0.0);
+  hog.state = JobState::Running;
+  hog.start_time = 0.0;
+  hog.spec.time_limit = 100.0;
+  hog.nodes = {0, 1, 2, 3};
+  hog.partition = 0;
+
+  ScheduleView view = heterogeneous_view(10.0);
+  view.idle_nodes = 2;
+  view.idle_per_partition = {0, 2};
+  view.idle_node_ids = {4, 5};
+  view.running = {&hog};
+  int extra = -1;
+  EXPECT_DOUBLE_EQ(shadow_time(view, 4, &extra, /*pool=*/0), 100.0);
+  EXPECT_EQ(extra, 0);
+  EXPECT_DOUBLE_EQ(shadow_time(view, 2, &extra, /*pool=*/1), 10.0);
+  EXPECT_TRUE(std::isinf(shadow_time(view, 3, &extra, /*pool=*/1)));
+}
+
 TEST(Scheduler, ShadowTimeComputation) {
   Job r1 = make_job(1, 4, 0.0);
   r1.state = JobState::Running;

@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event engine and the trace recorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -90,6 +92,107 @@ TEST(Engine, StopInterruptsRun) {
   engine.run();
   EXPECT_EQ(count, 3);
   EXPECT_FALSE(engine.empty());
+}
+
+TEST(Engine, StopBeforeRunHaltsBeforeFirstEvent) {
+  // A stop() issued before run() used to be silently dropped by an
+  // unconditional reset; it must halt the run before any event fires,
+  // then be consumed so the next run proceeds.
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.stop();
+  EXPECT_TRUE(engine.stop_pending());
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(engine.stop_pending());
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StopBeforeRunUntilFreezesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.stop();
+  EXPECT_EQ(engine.run_until(5.0), 0u);
+  EXPECT_EQ(fired, 0);
+  // A stopped run does not advance the clock to t_end.
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(Engine, StopDuringRunUntilFreezesClock) {
+  Engine engine;
+  engine.schedule_at(1.0, [&] { engine.stop(); });
+  engine.schedule_at(2.0, [] {});
+  EXPECT_EQ(engine.run_until(10.0), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  EXPECT_EQ(engine.run_until(10.0), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, CancelRunUntilInterleavingProperty) {
+  // Randomized interleaving of schedule / cancel / run_until: exactly
+  // the non-cancelled events fire, in time order, each within the
+  // run_until window that covers it.
+  std::mt19937 gen(20170712);
+  for (int round = 0; round < 20; ++round) {
+    Engine engine;
+    std::uniform_real_distribution<double> time_dist(0.0, 100.0);
+    std::bernoulli_distribution cancel_dist(0.3);
+
+    struct Planned {
+      double time;
+      EventId id;
+      bool cancelled = false;
+    };
+    std::vector<Planned> planned;
+    std::vector<double> fired;
+    for (int i = 0; i < 60; ++i) {
+      const double at = time_dist(gen);
+      Planned entry;
+      entry.time = at;
+      entry.id = engine.schedule_at(
+          at, [&fired, &engine] { fired.push_back(engine.now()); });
+      planned.push_back(entry);
+    }
+    for (auto& entry : planned) {
+      if (cancel_dist(gen)) {
+        EXPECT_TRUE(engine.cancel(entry.id));
+        entry.cancelled = true;
+      }
+    }
+    // Advance in random increasing steps, cancelling a few more events
+    // ahead of the clock as we go.
+    double t = 0.0;
+    std::size_t executed = 0;
+    while (t < 100.0) {
+      t += std::uniform_real_distribution<double>(1.0, 30.0)(gen);
+      executed += engine.run_until(t);
+      for (auto& entry : planned) {
+        if (!entry.cancelled && entry.time > t && cancel_dist(gen)) {
+          EXPECT_TRUE(engine.cancel(entry.id));
+          entry.cancelled = true;
+        }
+      }
+    }
+    executed += engine.run();
+
+    std::vector<double> expected;
+    for (const auto& entry : planned) {
+      if (!entry.cancelled) expected.push_back(entry.time);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(executed, expected.size());
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fired[i], expected[i]);
+    }
+    EXPECT_TRUE(engine.empty());
+  }
 }
 
 TEST(Engine, RunWithLimit) {

@@ -37,6 +37,31 @@ TEST(SizeWeights, RejectsBadMax) {
   EXPECT_THROW(feitelson_size_weights(0, 3.0), std::invalid_argument);
 }
 
+TEST(BalancedInterarrival, MatchesSampledOfferedLoad) {
+  // The closed-form pacing must reproduce the sampled node-seconds per
+  // job: offered load = E[size * runtime] / (interarrival * nodes).
+  FeitelsonParams p = params(4000);
+  p.mean_interarrival =
+      feitelson_balanced_interarrival(p, /*nodes=*/20, /*target_load=*/0.8);
+  const auto jobs = generate_feitelson(p);
+  double node_seconds = 0.0;
+  for (const auto& job : jobs) node_seconds += job.size * job.runtime;
+  const double horizon = jobs.back().arrival;
+  const double sampled_load = node_seconds / (horizon * 20.0);
+  EXPECT_NEAR(sampled_load, 0.8, 0.25);
+}
+
+TEST(BalancedInterarrival, ScalesInverselyWithClusterSize) {
+  const FeitelsonParams p = params(100);
+  const double small = feitelson_balanced_interarrival(p, 20, 0.8);
+  const double large = feitelson_balanced_interarrival(p, 80, 0.8);
+  EXPECT_NEAR(small / large, 4.0, 1e-9);
+  EXPECT_THROW(feitelson_balanced_interarrival(p, 0, 0.8),
+               std::invalid_argument);
+  EXPECT_THROW(feitelson_balanced_interarrival(p, 20, 0.0),
+               std::invalid_argument);
+}
+
 TEST(Generate, DeterministicForSeed) {
   const auto a = generate_feitelson(params(100, 7));
   const auto b = generate_feitelson(params(100, 7));
