@@ -163,6 +163,21 @@ int main(int argc, char** argv) {
         model.use_checkpoint_restart = m.recv_report.via_checkpoint;
         const double model_seconds =
             model.movement(m.bytes_total, shape.from, shape.to).seconds;
+        // Heterogeneity re-validation of the calibrated model: at node
+        // speed 1.0 the prediction must equal model_seconds (this bench
+        // measures reference-speed hardware, so calibration and the
+        // speed factor stay orthogonal); a 0.6-speed allocation must pay
+        // 1/0.6x on the network path and nothing extra through the
+        // checkpoint store.
+        const double model_ref =
+            model.movement(m.bytes_total, shape.from, shape.to, 1.0).seconds;
+        const double model_slow =
+            model.movement(m.bytes_total, shape.from, shape.to, 0.6).seconds;
+        const bool speed_ok =
+            model_ref == model_seconds &&
+            (m.recv_report.via_checkpoint
+                 ? model_slow == model_seconds
+                 : model_slow >= model_seconds * 1.5);
         const double throughput =
             m.exec_seconds > 0.0
                 ? static_cast<double>(m.bytes_moved) / m.exec_seconds / 1e6
@@ -172,10 +187,13 @@ int main(int argc, char** argv) {
             "\"shape\":\"%s\",\"old\":%d,\"new\":%d,\"elements\":%zu,"
             "\"rep\":%d,\"bytes_total\":%zu,\"bytes_moved\":%zu,"
             "\"transfers\":%d,\"plan_seconds\":%.6f,\"exec_seconds\":%.6f,"
-            "\"throughput_mbps\":%.2f,\"model_seconds\":%.6f}\n",
+            "\"throughput_mbps\":%.2f,\"model_seconds\":%.6f,"
+            "\"model_seconds_speed06\":%.6f,\"speed_check\":\"%s\"}\n",
             name, shape.kind, shape.from, shape.to, elements, rep,
             m.bytes_total, m.bytes_moved, m.transfers, m.plan_seconds,
-            m.exec_seconds, throughput, model_seconds);
+            m.exec_seconds, throughput, model_seconds, model_slow,
+            speed_ok ? "ok" : "drift");
+        if (!speed_ok) ++failures;
         std::fflush(stdout);
       }
     }

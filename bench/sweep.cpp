@@ -1,20 +1,33 @@
 // Scenario-sweep harness for the workload-scale subsystem.
 //
-// Runs a grid of (cluster config x seed x policy) workload simulations —
-// Feitelson traces scaled to thousands of jobs — on a thread pool, one
-// independent Engine + WorkloadDriver per scenario, and emits one JSON
-// object per scenario ("bench JSON", the micro_redistribute format) with
-// makespan, wait/completion summaries, utilization (per partition on
-// heterogeneous clusters), redistribution totals and the incremental
-// scheduler's request/pass counters.
+// Runs a grid of workload simulations — Feitelson traces scaled to
+// thousands of jobs — on a thread pool, one independent Engine +
+// WorkloadDriver per scenario, and emits one JSON object per scenario
+// ("bench JSON", the micro_redistribute format) with makespan,
+// wait/completion summaries, utilization (per partition on heterogeneous
+// clusters, per member on federations), redistribution totals and the
+// incremental scheduler's request/pass counters.
 //
-// Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F] [smoke]
-//   smoke      CI mode: a small trace, 1 seed, 2 threads
+// Two sweep modes share the harness:
+//  - single-cluster (default): (cluster config x DMR policy x variant x
+//    seed), where the variant axis ablates the shrink priority boost,
+//    EASY backfill and the Pack spanning-allocation policy;
+//  - federation (clusters=N, N > 1): (placement policy x DMR policy x
+//    seed) over an N-member federation of heterogeneous clusters, same
+//    trace per seed across placements so their utilization/waiting-time
+//    differences are attributable to routing alone.
+//
+// Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F]
+//               [clusters=N | --clusters N] [smoke]
+//   smoke      CI mode: a small trace, 1 seed, 2 threads (with
+//              clusters=N: 2 members x 2 placements, the ctest/CI
+//              federation smoke)
 //   jobs=N     jobs per trace (default 1000; the paper stops at 400)
-//   seeds=N    seeds per (config, policy) cell (default 3)
+//   seeds=N    seeds per grid cell (default 3)
 //   threads=N  worker threads (default: hardware concurrency)
 //   steps=N    reconfiguring-point steps per job (default 25, Table I FS)
 //   load=F     offered load fraction used to pace arrivals (default 0.9)
+//   clusters=N federation mode: N member clusters (default 1 = off)
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -49,17 +62,38 @@ constexpr Policy kPolicies[] = {
     {"async", true, true},
 };
 
+/// Design-choice ablation axes (single-cluster mode): the shrink
+/// priority boost (Algorithm 1 line 18), EASY backfill, and the Pack
+/// spanning-allocation policy.  "pack" only differs on heterogeneous
+/// configs, so the grid skips it for homogeneous ones.
+struct Variant {
+  const char* name;
+  bool shrink_boost;
+  bool backfill;
+  rms::AllocPolicy alloc;
+};
+
+constexpr Variant kVariants[] = {
+    {"base", true, true, rms::AllocPolicy::LowestId},
+    {"no-boost", false, true, rms::AllocPolicy::LowestId},
+    {"no-backfill", true, false, rms::AllocPolicy::LowestId},
+    {"pack", true, true, rms::AllocPolicy::Pack},
+};
+
 struct SweepOptions {
   int jobs = 1000;
   int seeds = 3;
   int steps = 25;
   int threads = 0;  // 0 = hardware concurrency
+  int clusters = 1;  // > 1 = federation mode
   double load = 0.9;
 };
 
 struct Scenario {
-  const ClusterConfig* cluster;
+  const ClusterConfig* cluster = nullptr;  // single-cluster mode
+  fed::Placement placement = fed::Placement::RoundRobin;  // federation mode
   Policy policy;
+  const Variant* variant;
   std::uint64_t seed;
   SweepOptions options;
 };
@@ -71,15 +105,70 @@ int total_nodes(const ClusterConfig& config) {
   return total;
 }
 
+void apply_variant(rms::RmsConfig& rms, const Variant& variant) {
+  rms.shrink_priority_boost = variant.shrink_boost;
+  rms.scheduler.backfill = variant.backfill;
+  rms.scheduler.alloc = variant.alloc;
+}
+
+/// Member cluster i of the federation: a repeating mix of a large
+/// homogeneous member, a heterogeneous fast/slow member and a small slow
+/// member, so placement policies have real trade-offs to exploit (and
+/// jobs wider than 12 nodes must fail over past every "gamma").
+fed::ClusterSpec make_member(int index, const Variant& variant) {
+  fed::ClusterSpec spec;
+  const int kind = index % 3;
+  const std::string suffix = index < 3 ? "" : std::to_string(index / 3 + 1);
+  if (kind == 0) {
+    spec.name = "alpha" + suffix;
+    spec.rms.nodes = 24;
+  } else if (kind == 1) {
+    spec.name = "beta" + suffix;
+    spec.rms.partitions = {rms::Partition{"fast", 16, 1.25},
+                           rms::Partition{"slow", 8, 0.6}};
+  } else {
+    spec.name = "gamma" + suffix;
+    spec.rms.partitions = {rms::Partition{"g", 12, 0.8}};
+  }
+  apply_variant(spec.rms, variant);
+  return spec;
+}
+
 /// Build the FS workload for one scenario and run it to completion.
 std::string run_scenario(const Scenario& scenario) {
-  const int nodes = total_nodes(*scenario.cluster);
+  const bool federated = scenario.options.clusters > 1;
+
+  sim::Engine engine;
+  drv::DriverConfig config;
+  int nodes = 0;
+  int max_member = 0;
+  if (federated) {
+    for (int c = 0; c < scenario.options.clusters; ++c) {
+      config.federation.clusters.push_back(
+          make_member(c, *scenario.variant));
+    }
+    config.federation.placement = scenario.placement;
+    fed::Federation probe(config.federation);
+    nodes = probe.total_nodes();
+    for (int c = 0; c < probe.cluster_count(); ++c) {
+      max_member = std::max(max_member, probe.manager(c).cluster().size());
+    }
+  } else {
+    config.rms.nodes = scenario.cluster->nodes;
+    config.rms.partitions = scenario.cluster->partitions;
+    apply_variant(config.rms, *scenario.variant);
+    nodes = total_nodes(*scenario.cluster);
+  }
+  config.asynchronous = scenario.policy.asynchronous;
+
   wl::FeitelsonParams params;
   params.jobs = scenario.options.jobs;
   // The paper's preliminary-study shape: sizes up to the 20-node
   // partition, 60 s step cap; larger clusters keep the same job-size
-  // distribution and absorb the load through parallelism.
-  params.max_size = std::min(nodes, 20);
+  // distribution and absorb the load through parallelism.  Federated
+  // traces cap sizes at the largest member so every job fits somewhere
+  // (smaller members reject the wide ones — the failover path).
+  params.max_size = std::min(federated ? max_member : nodes, 20);
   params.max_runtime = 60.0 * scenario.options.steps;
   params.short_runtime_mean = 60.0;
   params.long_runtime_mean = 600.0;
@@ -88,15 +177,9 @@ std::string run_scenario(const Scenario& scenario) {
       params, nodes, scenario.options.load);
   const auto workload = wl::generate_feitelson(params);
 
-  sim::Engine engine;
-  drv::DriverConfig config;
-  config.rms.nodes = scenario.cluster->nodes;
-  config.rms.partitions = scenario.cluster->partitions;
-  config.asynchronous = scenario.policy.asynchronous;
   drv::WorkloadDriver driver(engine, config);
-
   const int parts =
-      static_cast<int>(scenario.cluster->partitions.size());
+      federated ? 0 : static_cast<int>(scenario.cluster->partitions.size());
   for (const auto& job : workload) {
     drv::JobPlan plan;
     plan.arrival = job.arrival;
@@ -125,13 +208,35 @@ std::string run_scenario(const Scenario& scenario) {
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
-  out << "{\"bench\":\"sweep\",\"cluster\":\"" << scenario.cluster->name
-      << "\",\"policy\":\"" << scenario.policy.name
+  out << "{\"bench\":\"sweep\",\"cluster\":\""
+      << (federated
+              ? "fed" + std::to_string(scenario.options.clusters)
+              : scenario.cluster->name)
+      << "\",\"clusters\":" << scenario.options.clusters
+      << ",\"placement\":\""
+      << (federated ? to_string(scenario.placement) : "none")
+      << "\",\"policy\":\"" << scenario.policy.name << "\",\"variant\":\""
+      << scenario.variant->name
+      << "\",\"shrink_boost\":" << (scenario.variant->shrink_boost ? 1 : 0)
+      << ",\"backfill\":" << (scenario.variant->backfill ? 1 : 0)
+      << ",\"alloc\":\"" << rms::to_string(scenario.variant->alloc)
       << "\",\"seed\":" << scenario.seed << ",\"jobs\":" << metrics.jobs
       << ",\"nodes\":" << nodes << ",\"makespan\":" << metrics.makespan
       << ",\"utilization\":" << metrics.utilization;
   for (const auto& part : metrics.partitions) {
     out << ",\"utilization_" << part.name << "\":" << part.utilization;
+  }
+  for (const auto& member : metrics.clusters) {
+    out << ",\"utilization_" << member.name << "\":" << member.utilization
+        << ",\"jobs_" << member.name << "\":" << member.jobs << ",\"wait_mean_"
+        << member.name << "\":" << member.wait.mean;
+  }
+  if (federated) {
+    const fed::Federation& federation = driver.federation();
+    for (int c = 0; c < federation.cluster_count(); ++c) {
+      out << ",\"placements_" << federation.cluster_name(c)
+          << "\":" << federation.placements()[static_cast<std::size_t>(c)];
+    }
   }
   out << ",\"wait_mean\":" << metrics.wait.mean
       << ",\"wait_p95\":" << metrics.wait.p95
@@ -168,12 +273,18 @@ int main(int argc, char** argv) {
       options.threads = static_cast<int>(value);
     } else if (std::sscanf(argv[i], "steps=%llu", &value) == 1) {
       options.steps = static_cast<int>(value);
+    } else if (std::sscanf(argv[i], "clusters=%llu", &value) == 1) {
+      options.clusters = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc &&
+               std::sscanf(argv[i + 1], "%llu", &value) == 1) {
+      options.clusters = static_cast<int>(value);
+      ++i;
     } else if (std::sscanf(argv[i], "load=%lf", &fraction) == 1) {
       options.load = fraction;
     } else {
       std::fprintf(stderr,
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
-                   "[load=F] [smoke]\n",
+                   "[load=F] [clusters=N | --clusters N] [smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -183,6 +294,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sweep: jobs/seeds/steps must be positive and load in "
                  "(0, 1]\n");
+    return 2;
+  }
+  if (options.clusters < 1 || options.clusters > 64) {
+    std::fprintf(stderr, "sweep: clusters must be in [1, 64]\n");
     return 2;
   }
   if (smoke) {
@@ -205,18 +320,56 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Scenario> scenarios;
-  for (const auto& cluster : clusters) {
-    for (const Policy& policy : kPolicies) {
-      for (int s = 0; s < options.seeds; ++s) {
-        scenarios.push_back(Scenario{&cluster, policy,
-                                     2017 + static_cast<std::uint64_t>(s),
-                                     options});
+  if (options.clusters > 1) {
+    // Federation grid: placement x DMR policy x seed on one member set;
+    // the trace depends only on the seed, so placements compete on the
+    // same workload.  The smoke run is the ctest/CI federation check:
+    // 2 members x 2 placements, flexible only.
+    std::vector<fed::Placement> placements = fed::all_placements();
+    std::vector<Policy> policies(std::begin(kPolicies), std::end(kPolicies));
+    if (smoke) {
+      options.clusters = 2;
+      placements.resize(2);
+      policies = {kPolicies[1]};  // flexible
+    }
+    for (fed::Placement placement : placements) {
+      for (const Policy& policy : policies) {
+        for (int s = 0; s < options.seeds; ++s) {
+          Scenario scenario;
+          scenario.placement = placement;
+          scenario.policy = policy;
+          scenario.variant = &kVariants[0];
+          scenario.seed = 2017 + static_cast<std::uint64_t>(s);
+          scenario.options = options;
+          scenarios.push_back(scenario);
+        }
+      }
+    }
+  } else {
+    for (const auto& cluster : clusters) {
+      for (const Policy& policy : kPolicies) {
+        for (const Variant& variant : kVariants) {
+          // Pack only differs from base on heterogeneous configs.
+          if (variant.alloc == rms::AllocPolicy::Pack &&
+              cluster.partitions.size() < 2) {
+            continue;
+          }
+          for (int s = 0; s < options.seeds; ++s) {
+            Scenario scenario;
+            scenario.cluster = &cluster;
+            scenario.policy = policy;
+            scenario.variant = &variant;
+            scenario.seed = 2017 + static_cast<std::uint64_t>(s);
+            scenario.options = options;
+            scenarios.push_back(scenario);
+          }
+        }
       }
     }
   }
 
   // Thread pool over the scenario list: scenarios are fully independent
-  // (own engine, manager, driver, RNG), so workers share nothing but the
+  // (own engine, managers, driver, RNG), so workers share nothing but the
   // next-index counter.  Output is buffered per scenario and printed in
   // grid order to keep runs diffable.
   std::vector<std::string> lines(scenarios.size());
@@ -241,9 +394,9 @@ int main(int argc, char** argv) {
   for (const auto& line : lines) std::printf("%s\n", line.c_str());
   std::printf(
       "{\"bench\":\"sweep\",\"summary\":true,\"scenarios\":%zu,"
-      "\"threads\":%d,\"jobs_per_trace\":%d,\"wall_seconds\":%.3f,"
-      "\"scenarios_per_second\":%.2f}\n",
-      scenarios.size(), worker_count, options.jobs, wall,
+      "\"clusters\":%d,\"threads\":%d,\"jobs_per_trace\":%d,"
+      "\"wall_seconds\":%.3f,\"scenarios_per_second\":%.2f}\n",
+      scenarios.size(), options.clusters, worker_count, options.jobs, wall,
       wall > 0.0 ? static_cast<double>(scenarios.size()) / wall : 0.0);
   return 0;
 }

@@ -8,11 +8,14 @@
 //   dmr::ReconfigEngine — the shared negotiate/defer/apply/drain state
 //                         machine (used directly by virtual-time hosts)
 //   dmr::Rms            — the resource-manager interface; dmr::Manager
-//                         is the built-in implementation
+//                         is the built-in implementation and
+//                         dmr::Federation (<dmr/federation.hpp>) the
+//                         multi-cluster routing facade over N of them
 //   dmr::Request / Decision / Outcome / ResizeDecision — value types
 //
 // Real-mode applications add <dmr/malleable.hpp>; workload simulations
-// add <dmr/simulation.hpp>.
+// add <dmr/simulation.hpp>; multi-cluster setups add
+// <dmr/federation.hpp>.
 #pragma once
 
 #include "dmr/engine.hpp"          // IWYU pragma: export

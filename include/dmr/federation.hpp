@@ -1,0 +1,27 @@
+// Multi-cluster federation behind the dmr::Rms seam, re-exported for API
+// consumers.  A dmr::Federation owns one dmr::Manager per member cluster
+// and routes submissions between them through a pluggable placement
+// policy; sessions, reconfiguring points and the workload driver work
+// against it unchanged because it *is* a dmr::Rms.
+//
+//   dmr::Federation        — the routing facade (fed::Federation)
+//   dmr::FederationConfig  — member ClusterSpecs + placement choice
+//   dmr::ClusterSpec       — one member: name + RmsConfig
+//   dmr::Placement         — built-in policy kinds (round-robin,
+//                            least-loaded, best-fit-speed, queue-depth)
+//   dmr::fed::PlacementPolicy — the interface custom policies implement
+#pragma once
+
+#include "dmr/manager.hpp"   // IWYU pragma: export
+#include "dmr/rms.hpp"       // IWYU pragma: export
+#include "fed/federation.hpp"  // IWYU pragma: export
+#include "fed/placement.hpp"   // IWYU pragma: export
+
+namespace dmr {
+
+using fed::ClusterSpec;
+using fed::Federation;
+using fed::FederationConfig;
+using fed::Placement;
+
+}  // namespace dmr

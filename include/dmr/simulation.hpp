@@ -8,6 +8,7 @@
 #pragma once
 
 #include "apps/models.hpp"         // IWYU pragma: export
+#include "dmr/federation.hpp"      // IWYU pragma: export
 #include "dmr/manager.hpp"         // IWYU pragma: export
 #include "drv/cost_model.hpp"      // IWYU pragma: export
 #include "drv/metrics.hpp"         // IWYU pragma: export

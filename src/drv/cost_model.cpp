@@ -17,7 +17,7 @@ double CostModel::migrated_fraction(int old_procs, int new_procs) {
 }
 
 redist::Report CostModel::movement(std::size_t state_bytes, int old_procs,
-                                   int new_procs) const {
+                                   int new_procs, double node_speed) const {
   redist::Report report;
   report.bytes_total = state_bytes;
   if (use_checkpoint_restart) {
@@ -43,8 +43,12 @@ redist::Report CostModel::movement(std::size_t state_bytes, int old_procs,
   report.transfers = old_procs + new_procs;
   const int lanes = std::max(1, std::min(old_procs, new_procs));
   report.lanes = lanes;
+  // Calibrated bandwidth (observe()) or the nominal figure, scaled by
+  // the partition speed of the nodes doing the moving.
+  const double speed = node_speed > 0.0 ? node_speed : 1.0;
   const double per_lane =
-      measured_network_bw > 0.0 ? measured_network_bw : network_bandwidth;
+      (measured_network_bw > 0.0 ? measured_network_bw : network_bandwidth) *
+      speed;
   report.seconds =
       static_cast<double>(report.bytes_moved) / (per_lane * lanes);
   return report;
@@ -57,9 +61,10 @@ double CostModel::protocol_seconds(int new_procs) const {
 }
 
 double CostModel::reconfigure_seconds(std::size_t state_bytes, int old_procs,
-                                      int new_procs) const {
+                                      int new_procs,
+                                      double node_speed) const {
   return protocol_seconds(new_procs) +
-         movement(state_bytes, old_procs, new_procs).seconds;
+         movement(state_bytes, old_procs, new_procs, node_speed).seconds;
 }
 
 void CostModel::observe(const redist::Report& report) {

@@ -48,14 +48,20 @@ struct CostModel {
 
   /// Modeled data movement for resizing `old_procs` -> `new_procs` with
   /// `state_bytes` of registered application state — the Report a
-  /// virtual-time substrate "measures" for the resize.
+  /// virtual-time substrate "measures" for the resize.  `node_speed` is
+  /// the allocation's gating partition speed factor (Cluster::min_speed):
+  /// per-lane transfer bandwidth scales with it, so resizes on slow
+  /// partitions pay proportionally more (slow nodes drive their NICs at
+  /// the same deficit as their cores; non-positive values mean 1.0).
+  /// The checkpoint route is unscaled — the parallel filesystem is a
+  /// shared resource, not the nodes'.
   redist::Report movement(std::size_t state_bytes, int old_procs,
-                          int new_procs) const;
+                          int new_procs, double node_speed = 1.0) const;
 
   /// Seconds of non-solving time for the whole resize: process
   /// management plus movement().seconds.
   double reconfigure_seconds(std::size_t state_bytes, int old_procs,
-                             int new_procs) const;
+                             int new_procs, double node_speed = 1.0) const;
 
   /// Spawn/teardown share only (no data movement).
   double protocol_seconds(int new_procs) const;

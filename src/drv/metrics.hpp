@@ -11,10 +11,30 @@
 namespace dmr::drv {
 
 /// Per-partition slice of the utilization metric (heterogeneous runs).
+/// Federated runs qualify the name as "<cluster>/<partition>".
 struct PartitionUtilization {
   std::string name;
   int nodes = 0;
   double utilization = 0.0;
+};
+
+/// Per-member slice of a federated run's metrics (one entry per member
+/// when the driver runs a multi-cluster federation; empty otherwise).
+/// The federation-wide WorkloadMetrics fields are exact aggregates of
+/// these: counts sum, utilization is the node-weighted average.
+struct ClusterMetrics {
+  std::string name;
+  int nodes = 0;
+  /// Jobs the placement policy routed here.
+  int jobs = 0;
+  double utilization = 0.0;
+  /// Last end time among this member's completed jobs.
+  double makespan = 0.0;
+  util::Summary wait;
+  long long expands = 0;
+  long long shrinks = 0;
+  long long checks = 0;
+  long long aborted_expands = 0;
 };
 
 struct WorkloadMetrics {
@@ -27,6 +47,9 @@ struct WorkloadMetrics {
   /// Utilization per partition over the same window (one entry per
   /// partition when the cluster is heterogeneous; empty otherwise).
   std::vector<PartitionUtilization> partitions;
+  /// Per-member metrics of a federated run (≥ 2 member clusters; empty
+  /// otherwise).
+  std::vector<ClusterMetrics> clusters;
   util::Summary wait;        // "Avg. job waiting time"
   util::Summary execution;   // "Avg. job execution time"
   util::Summary completion;  // "Avg. job completion time"

@@ -7,28 +7,51 @@
 
 namespace dmr::drv {
 
+namespace {
+
+/// A single-member federation built from the plain RmsConfig keeps one
+/// driver code path: routing to one cluster is the identity, so the run
+/// is behaviourally identical to driving the manager directly.
+fed::FederationConfig make_federation(const DriverConfig& config) {
+  if (!config.federation.clusters.empty()) return config.federation;
+  fed::FederationConfig single;
+  single.clusters.push_back(fed::ClusterSpec{"local", config.rms});
+  return single;
+}
+
+}  // namespace
+
 WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
     : engine_(engine),
       config_(config),
-      manager_(config.rms),
+      federation_(make_federation(config)),
       connection_(std::make_shared<::dmr::Connection>(
-          manager_, [this] { return engine_.now(); })),
+          federation_, [this] { return engine_.now(); })),
       trace_(engine) {
-  manager_.on_start([this](const rms::Job& job) { on_started(job); });
-  manager_.on_end([this](const rms::Job& job) {
+  federation_.on_start([this](const rms::Job& job) { on_started(job); });
+  federation_.on_end([this](const rms::Job& job) {
     (void)job;
     ++completed_;
     trace_.record("completed", completed_);
   });
-  manager_.on_alloc_change([this](int allocated, int running) {
-    trace_.record("allocated", allocated);
-    trace_.record("running", running);
-    // Per-partition occupancy, for the heterogeneous utilization report.
-    const rms::Cluster& cluster = manager_.cluster();
+  const bool multi = federation_.cluster_count() > 1;
+  federation_.on_alloc_change([this, multi](int member, int member_allocated,
+                                            int total_allocated,
+                                            int total_running) {
+    trace_.record("allocated", total_allocated);
+    trace_.record("running", total_running);
+    const std::string& name = federation_.cluster_name(member);
+    if (multi) trace_.record("allocated@" + name, member_allocated);
+    // Per-partition occupancy of the member that changed, for the
+    // heterogeneous utilization report (qualified by member on
+    // federated runs).
+    const rms::Cluster& cluster = federation_.manager(member).cluster();
     if (cluster.partition_count() > 1) {
       for (int p = 0; p < cluster.partition_count(); ++p) {
-        trace_.record("allocated:" + cluster.partition(p).name,
-                      cluster.allocated_in(p));
+        const std::string series =
+            multi ? "allocated:" + name + "/" + cluster.partition(p).name
+                  : "allocated:" + cluster.partition(p).name;
+        trace_.record(series, cluster.allocated_in(p));
       }
     }
   });
@@ -36,23 +59,12 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
 
 void WorkloadDriver::add(JobPlan plan) {
   if (plan.time_limit <= 0.0) {
-    // Scale the estimate by the node speed the job can land on: its
-    // partition's speed when pinned, the slowest partition otherwise (a
-    // spanning job may be gated by it; overestimating the limit keeps
-    // the EASY reservation conservative, underestimating would let
-    // backfill squat on reserved nodes).
-    const rms::Cluster& cluster = manager_.cluster();
-    double speed = 1.0;
-    if (cluster.partition_count() > 1) {
-      const int pinned = cluster.partition_index(plan.partition);
-      if (pinned != rms::kAnyPartition) {
-        speed = cluster.partition(pinned).speed;
-      } else {
-        for (int p = 0; p < cluster.partition_count(); ++p) {
-          speed = std::min(speed, cluster.partition(p).speed);
-        }
-      }
-    }
+    // Scale the estimate by the slowest node speed the job can land on
+    // anywhere in the federation: its named partition's speed where
+    // pinned, the slowest spanning-pool speed otherwise.  Overestimating
+    // the limit keeps the EASY reservation conservative; underestimating
+    // would let backfill squat on reserved nodes.
+    const double speed = federation_.conservative_speed(plan.partition);
     plan.time_limit = plan.model.step_seconds(plan.submit_nodes) *
                       plan.model.iterations * 1.2 / speed;
   }
@@ -117,10 +129,10 @@ void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
 }
 
 void WorkloadDriver::schedule_step(Exec& exec) {
-  const rms::Job& job = manager_.job(exec.id);
+  const rms::Job& job = federation_.job(exec.id);
   // Synchronous iterations: the slowest node in the allocation gates the
   // step (speed 1.0 everywhere on a homogeneous cluster).
-  const double speed = manager_.cluster().min_speed(job.nodes);
+  const double speed = federation_.cluster_for(exec.id).min_speed(job.nodes);
   const double duration =
       exec.plan.model.step_seconds(job.allocated()) / speed;
   engine_.schedule_after(duration, [this, &exec] { finish_step(exec); });
@@ -139,7 +151,7 @@ void WorkloadDriver::finish_step(Exec& exec) {
 
 double WorkloadDriver::apply_outcome(Exec& exec, rms::DmrOutcome& outcome) {
   if (outcome.action == rms::Action::None) return 0.0;
-  const rms::Job& job = manager_.job(exec.id);
+  const rms::Job& job = federation_.job(exec.id);
   // For an expand the allocation has already grown, so the pre-resize
   // size is allocated - added; for a shrink the draining nodes are still
   // attached, so allocated *is* the old size.
@@ -149,9 +161,12 @@ double WorkloadDriver::apply_outcome(Exec& exec, rms::DmrOutcome& outcome) {
           : job.allocated();
   // The modeled movement is the Report this substrate "measures": it
   // flows into the outcome, the shared engine's totals and the workload
-  // metrics exactly like a real redistribution would.
+  // metrics exactly like a real redistribution would.  Transfer
+  // bandwidth scales with the allocation's gating partition speed.
+  const double node_speed =
+      federation_.cluster_for(exec.id).min_speed(job.nodes);
   const redist::Report moved = config_.cost.movement(
-      exec.plan.model.state_bytes, previous, outcome.new_size);
+      exec.plan.model.state_bytes, previous, outcome.new_size, node_speed);
   outcome.bytes_redistributed = moved.bytes_moved;
   outcome.redistribution_seconds = moved.seconds;
   exec.engine->record_redistribution(moved);
@@ -176,6 +191,53 @@ double WorkloadDriver::reconfiguring_point(Exec& exec) {
   return overhead + apply_outcome(exec, *outcome);
 }
 
+void WorkloadDriver::collect_cluster_metrics(WorkloadMetrics& metrics,
+                                             double first_arrival,
+                                             double makespan) const {
+  const bool multi = federation_.cluster_count() > 1;
+  for (int c = 0; c < federation_.cluster_count(); ++c) {
+    const std::string& name = federation_.cluster_name(c);
+    const rms::Manager& manager = federation_.manager(c);
+    const rms::Cluster& cluster = manager.cluster();
+    if (cluster.partition_count() > 1) {
+      for (int p = 0; p < cluster.partition_count(); ++p) {
+        PartitionUtilization part;
+        part.name = multi ? name + "/" + cluster.partition(p).name
+                          : cluster.partition(p).name;
+        part.nodes = cluster.partition(p).nodes;
+        const std::string series = "allocated:" + part.name;
+        if (trace_.has(series)) {
+          part.utilization =
+              trace_.average(series, first_arrival, makespan) / part.nodes;
+        }
+        metrics.partitions.push_back(std::move(part));
+      }
+    }
+    if (!multi) continue;
+    ClusterMetrics member;
+    member.name = name;
+    member.nodes = cluster.size();
+    const std::string series = "allocated@" + name;
+    if (trace_.has(series)) {
+      member.utilization =
+          trace_.average(series, first_arrival, makespan) / member.nodes;
+    }
+    std::vector<double> waits;
+    for (const rms::Job* job : manager.jobs()) {
+      if (job->state != rms::JobState::Completed) continue;
+      ++member.jobs;
+      waits.push_back(job->wait_time());
+      member.makespan = std::max(member.makespan, job->end_time);
+    }
+    member.wait = util::summarize(std::move(waits));
+    member.expands = manager.counters().expands;
+    member.shrinks = manager.counters().shrinks;
+    member.checks = manager.counters().checks;
+    member.aborted_expands = manager.counters().aborted_expands;
+    metrics.clusters.push_back(std::move(member));
+  }
+}
+
 WorkloadMetrics WorkloadDriver::run() {
   // Schedule arrivals.
   for (auto& exec : execs_) {
@@ -183,14 +245,14 @@ WorkloadMetrics WorkloadDriver::run() {
                         [this, e = exec.get()] { submit(*e); });
   }
   engine_.run();
-  if (!manager_.all_done()) {
+  if (!federation_.all_done()) {
     throw std::logic_error("WorkloadDriver: engine drained with live jobs");
   }
 
   WorkloadMetrics metrics;
   std::vector<double> waits, execs, completions;
   double makespan = 0.0;
-  for (const rms::Job* job : manager_.jobs()) {
+  for (const rms::Job* job : federation_.jobs()) {
     if (job->state != rms::JobState::Completed) continue;
     waits.push_back(job->wait_time());
     execs.push_back(job->execution_time());
@@ -212,29 +274,17 @@ WorkloadMetrics WorkloadDriver::run() {
   if (trace_.has("allocated") && makespan > first_arrival) {
     metrics.utilization =
         trace_.average("allocated", first_arrival, makespan) /
-        manager_.cluster().size();
-    const rms::Cluster& cluster = manager_.cluster();
-    if (cluster.partition_count() > 1) {
-      for (int p = 0; p < cluster.partition_count(); ++p) {
-        PartitionUtilization part;
-        part.name = cluster.partition(p).name;
-        part.nodes = cluster.partition(p).nodes;
-        const std::string series = "allocated:" + part.name;
-        if (trace_.has(series)) {
-          part.utilization =
-              trace_.average(series, first_arrival, makespan) / part.nodes;
-        }
-        metrics.partitions.push_back(std::move(part));
-      }
-    }
+        federation_.total_nodes();
+    collect_cluster_metrics(metrics, first_arrival, makespan);
   }
-  metrics.expands = manager_.counters().expands;
-  metrics.shrinks = manager_.counters().shrinks;
-  metrics.checks = manager_.counters().checks;
-  metrics.aborted_expands = manager_.counters().aborted_expands;
-  metrics.schedule_requests = manager_.counters().schedule_requests;
-  metrics.schedule_passes = manager_.counters().schedule_passes;
-  metrics.schedule_passes_saved = manager_.counters().schedule_passes_saved;
+  const rms::Manager::Counters counters = federation_.counters();
+  metrics.expands = counters.expands;
+  metrics.shrinks = counters.shrinks;
+  metrics.checks = counters.checks;
+  metrics.aborted_expands = counters.aborted_expands;
+  metrics.schedule_requests = counters.schedule_requests;
+  metrics.schedule_passes = counters.schedule_passes;
+  metrics.schedule_passes_saved = counters.schedule_passes_saved;
   metrics.bytes_redistributed = bytes_redistributed_;
   metrics.redistribution_seconds = redistribution_seconds_;
   return metrics;

@@ -6,10 +6,19 @@
 // Manager policy/protocol code the real-mode runtime uses), pay the
 // modeled redistribution cost, and continue at the granted size.  This is
 // the machinery behind Figs. 3-12 and Table II.
+//
+// The driver talks to a fed::Federation — one member cluster by default
+// (built from DriverConfig::rms, behaviourally identical to driving the
+// manager directly), or a multi-cluster federation when
+// DriverConfig::federation names members.  All members share the one
+// sim::Engine clock; submissions route through the federation's
+// placement policy and every other protocol step lands on the owning
+// member, so federated and single-cluster runs exercise the same code.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/models.hpp"
@@ -17,6 +26,7 @@
 #include "dmr/session.hpp"
 #include "drv/cost_model.hpp"
 #include "drv/metrics.hpp"
+#include "fed/federation.hpp"
 #include "rms/manager.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -38,11 +48,18 @@ struct JobPlan {
   /// Backfill estimate; 0 derives it from the model at the submit size.
   double time_limit = 0.0;
   /// Partition constraint (empty = may run anywhere / span partitions).
+  /// In a federation, also a routing constraint: only members with the
+  /// named partition are eligible.
   std::string partition;
 };
 
 struct DriverConfig {
+  /// Single-cluster configuration; ignored when `federation` has members.
   rms::RmsConfig rms;
+  /// Multi-cluster mode: when `federation.clusters` is non-empty the
+  /// driver runs the whole workload through this federation instead of
+  /// a single manager built from `rms`.
+  fed::FederationConfig federation;
   CostModel cost;
   /// Use dmr_icheck_status semantics (decide now, apply next step).
   bool asynchronous = false;
@@ -60,14 +77,21 @@ class WorkloadDriver {
 
   void add(JobPlan plan);
 
-  /// Run to completion; returns the workload metrics.
+  /// Run to completion; returns the workload metrics (federation-wide,
+  /// with per-member ClusterMetrics on multi-cluster runs).
   WorkloadMetrics run();
 
   const sim::TraceRecorder& trace() const { return trace_; }
-  const rms::Manager& manager() const { return manager_; }
+  /// The federation the driver runs against (a single member unless
+  /// DriverConfig::federation named more).
+  const fed::Federation& federation() const { return federation_; }
+  fed::Federation& federation_mutable() { return federation_; }
+  /// First member's manager — the whole system on single-cluster runs.
+  const rms::Manager& manager() const { return federation_.manager(0); }
   /// Mutable access for attaching instrumentation (e.g. rms::Accounting)
-  /// before run().
-  rms::Manager& manager_mutable() { return manager_; }
+  /// before run().  Federated runs attach per member via
+  /// federation_mutable().
+  rms::Manager& manager_mutable() { return federation_.manager(0); }
 
  private:
   /// One job's execution state.  The reconfiguring-point protocol lives
@@ -98,10 +122,13 @@ class WorkloadDriver {
   /// Prices the outcome's data movement and stamps its redistribution
   /// fields from the modeled redist::Report.
   double apply_outcome(Exec& exec, rms::DmrOutcome& outcome);
+  /// Per-member slices + partition utilizations for run()'s metrics.
+  void collect_cluster_metrics(WorkloadMetrics& metrics, double first_arrival,
+                               double makespan) const;
 
   sim::Engine& engine_;
   DriverConfig config_;
-  rms::Manager manager_;
+  fed::Federation federation_;
   /// Shared virtual-clock connection all job sessions go through.
   std::shared_ptr<::dmr::Connection> connection_;
   sim::TraceRecorder trace_;

@@ -45,6 +45,14 @@ Cluster::Cluster(std::vector<Partition> partitions)
   idle_count_ = total;
 }
 
+std::string to_string(AllocPolicy policy) {
+  switch (policy) {
+    case AllocPolicy::LowestId: return "lowest-id";
+    case AllocPolicy::Pack: return "pack";
+  }
+  return "unknown";
+}
+
 int Cluster::partition_index(const std::string& name) const {
   for (std::size_t p = 0; p < partitions_.size(); ++p) {
     if (partitions_[p].name == name) return static_cast<int>(p);
@@ -79,6 +87,32 @@ Node& Cluster::mutable_node(int id) {
   return nodes_[static_cast<std::size_t>(id)];
 }
 
+std::vector<int> pack_partition_order(
+    const std::vector<int>& idle_per_partition, int count) {
+  const auto idle = [&](int p) {
+    return idle_per_partition[static_cast<std::size_t>(p)];
+  };
+  const int parts = static_cast<int>(idle_per_partition.size());
+  // Best fit: the partition with the fewest idle nodes that still holds
+  // the whole grant (ties break on the lower index).
+  int best = kAnyPartition;
+  for (int p = 0; p < parts; ++p) {
+    if (idle(p) < count) continue;
+    if (best == kAnyPartition || idle(p) < idle(best)) best = p;
+  }
+  if (best != kAnyPartition) return {best};
+  // No single partition fits: span as few partitions as possible by
+  // consuming them in descending idle count (ties on the lower index).
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    if (idle(p) > 0) order.push_back(p);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return idle(a) > idle(b); });
+  return order;
+}
+
 std::vector<int> Cluster::allocate(JobId job, int count, int partition) {
   if (count <= 0) throw std::invalid_argument("Cluster: non-positive count");
   const int available =
@@ -86,16 +120,35 @@ std::vector<int> Cluster::allocate(JobId job, int count, int partition) {
   if (count > available) {
     throw std::runtime_error("Cluster: insufficient idle nodes");
   }
+  const auto take_from = [&](int pool, int remaining) {
+    // Lowest id first within the pool, deterministic.
+    int taken = 0;
+    std::vector<int> granted;
+    granted.reserve(static_cast<std::size_t>(remaining));
+    for (auto& node : nodes_) {
+      if (node.owner != kInvalidJob) continue;
+      if (pool != kAnyPartition && node.partition != pool) continue;
+      node.owner = job;
+      node.draining = false;
+      --idle_per_partition_[static_cast<std::size_t>(node.partition)];
+      granted.push_back(node.id);
+      if (++taken == remaining) break;
+    }
+    return granted;
+  };
   std::vector<int> granted;
-  granted.reserve(static_cast<std::size_t>(count));
-  for (auto& node : nodes_) {
-    if (node.owner != kInvalidJob) continue;
-    if (partition != kAnyPartition && node.partition != partition) continue;
-    node.owner = job;
-    node.draining = false;
-    --idle_per_partition_[static_cast<std::size_t>(node.partition)];
-    granted.push_back(node.id);
-    if (static_cast<int>(granted.size()) == count) break;
+  if (partition == kAnyPartition && alloc_policy_ == AllocPolicy::Pack &&
+      partition_count() > 1) {
+    granted.reserve(static_cast<std::size_t>(count));
+    for (int pool : pack_partition_order(idle_per_partition_, count)) {
+      const int want =
+          std::min(count - static_cast<int>(granted.size()), idle_in(pool));
+      const auto taken = take_from(pool, want);
+      granted.insert(granted.end(), taken.begin(), taken.end());
+      if (static_cast<int>(granted.size()) == count) break;
+    }
+  } else {
+    granted = take_from(partition, count);
   }
   idle_count_ -= count;
   return granted;

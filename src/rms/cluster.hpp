@@ -23,6 +23,34 @@ namespace dmr::rms {
 /// Any partition (unconstrained job) in partition-indexed APIs.
 constexpr int kAnyPartition = -1;
 
+/// Node-selection policy for unconstrained (spanning) allocations on a
+/// heterogeneous cluster.  Constrained jobs always take lowest-id nodes
+/// within their partition; single-partition clusters are unaffected.
+enum class AllocPolicy {
+  /// Lowest node id first (the original order).  Simple and
+  /// deterministic, but a spanning job straddles partition boundaries
+  /// as soon as the first partition has any allocation, fragmenting
+  /// every pool it touches.
+  LowestId,
+  /// Best-fit packing: the whole grant lands in the fullest partition
+  /// that can still hold it; when none fits, partitions are consumed in
+  /// descending idle count so the job spans as few partitions as
+  /// possible and whole pools stay free for pinned jobs.
+  Pack,
+};
+
+std::string to_string(AllocPolicy policy);
+
+/// The partition order a Pack-policy spanning grant of `count` nodes
+/// consumes, given per-partition idle counts: the fullest partition
+/// that still holds the whole grant (best fit), or partitions in
+/// descending idle count when none does (fewest partitions spanned).
+/// Ties break on the lower index.  One shared implementation serves
+/// Cluster::allocate and the scheduler's pass, so the pass predicts
+/// exactly what the cluster grants.
+std::vector<int> pack_partition_order(
+    const std::vector<int>& idle_per_partition, int count);
+
 /// One homogeneous slice of the cluster.
 struct Partition {
   std::string name;
@@ -60,6 +88,11 @@ class Cluster {
   // --- partitions ------------------------------------------------------------
 
   int partition_count() const { return static_cast<int>(partitions_.size()); }
+  /// Node-selection policy for spanning allocations (default LowestId).
+  /// The scheduler's pass mirrors whatever is set here, so change it only
+  /// between passes (the manager sets it once at construction).
+  void set_alloc_policy(AllocPolicy policy) { alloc_policy_ = policy; }
+  AllocPolicy alloc_policy() const { return alloc_policy_; }
   const Partition& partition(int index) const {
     return partitions_.at(static_cast<std::size_t>(index));
   }
@@ -78,10 +111,13 @@ class Cluster {
     return nodes_.at(static_cast<std::size_t>(id));
   }
 
-  /// Allocate `count` idle nodes to `job`; returns their ids (lowest-id
-  /// first, which keeps simulations deterministic).  When `partition` is
-  /// not kAnyPartition only that partition's nodes are eligible.  Throws
-  /// when fewer than `count` eligible nodes are idle.
+  /// Allocate `count` idle nodes to `job`; returns their ids.  When
+  /// `partition` is not kAnyPartition only that partition's nodes are
+  /// eligible and the grant takes lowest ids first.  Spanning grants
+  /// follow the alloc policy (LowestId, or Pack's best-fit partition
+  /// selection); both orders are deterministic, which keeps simulations
+  /// bit-reproducible.  Throws when fewer than `count` eligible nodes
+  /// are idle.
   std::vector<int> allocate(JobId job, int count,
                             int partition = kAnyPartition);
 
@@ -116,6 +152,7 @@ class Cluster {
   std::vector<Partition> partitions_;
   std::vector<int> node_partition_;
   std::vector<int> idle_per_partition_;
+  AllocPolicy alloc_policy_ = AllocPolicy::LowestId;
   int idle_count_ = 0;
   int draining_count_ = 0;
 };

@@ -17,8 +17,11 @@ Cluster make_cluster(const RmsConfig& config) {
 }  // namespace
 
 Manager::Manager(RmsConfig config)
-    : config_(std::move(config)), cluster_(make_cluster(config_)) {
+    : config_(std::move(config)),
+      cluster_(make_cluster(config_)),
+      next_id_(config_.first_job_id) {
   config_.scheduler.weights.cluster_size = cluster_.size();
+  cluster_.set_alloc_policy(config_.scheduler.alloc);
 }
 
 void Manager::rescale_time_limit(Job& job, double now, double ratio) {

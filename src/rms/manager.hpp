@@ -47,6 +47,10 @@ struct RmsConfig {
   /// Heterogeneous layout; when non-empty it overrides `nodes` (the
   /// total is the sum of the partition sizes).
   std::vector<Partition> partitions = {};
+  /// First id this manager assigns.  A fed::Federation gives each member
+  /// a disjoint range so job ids stay globally unique and route back to
+  /// their cluster without a translation table.
+  JobId first_job_id = 1;
 };
 
 /// Result of a DMR reconfiguring-point negotiation (public API type).
@@ -169,7 +173,7 @@ class Manager : public ::dmr::Rms {
   RmsConfig config_;
   Cluster cluster_;
   std::map<JobId, Job> jobs_;
-  JobId next_id_ = 1;
+  JobId next_id_;
   Counters counters_;
 
   // --- live-set indices (the incremental-scheduling state) -----------------

@@ -18,12 +18,14 @@ constexpr int kSyntheticNode = -1;
 /// order so per-partition idle counts stay exact as jobs are picked.
 struct IdlePool {
   const ScheduleView* view;
+  AllocPolicy policy;
   int idle_total;
   std::vector<int> idle_parts;  // empty = homogeneous
   std::vector<int> idle_ids;    // empty = homogeneous
 
-  explicit IdlePool(const ScheduleView& v)
+  IdlePool(const ScheduleView& v, AllocPolicy alloc)
       : view(&v),
+        policy(alloc),
         idle_total(v.idle_nodes),
         idle_parts(v.idle_per_partition),
         idle_ids(v.idle_node_ids) {}
@@ -36,6 +38,10 @@ struct IdlePool {
                partition;
   }
 
+  int partition_of(int node_id) const {
+    return view->node_partition[static_cast<std::size_t>(node_id)];
+  }
+
   int available_for(const Job& job) const {
     if (!heterogeneous() || job.partition < 0) return idle_total;
     return idle_parts[static_cast<std::size_t>(job.partition)];
@@ -45,18 +51,43 @@ struct IdlePool {
     return job.requested_nodes > 0 && job.requested_nodes <= available_for(job);
   }
 
-  /// Nodes the job would take from `partition`, without committing.
-  int count_take_in(const Job& job, int partition) const {
-    if (!heterogeneous()) return job.requested_nodes;
+  /// The ids the cluster would grant the job right now, in grant order
+  /// (heterogeneous mode only).  Mirrors Cluster::allocate: constrained
+  /// and LowestId grants take the first eligible ids; Pack spanning
+  /// grants take whole partitions in Cluster::pack_partition_order.
+  std::vector<int> plan_take(const Job& job) const {
+    std::vector<int> taken;
+    taken.reserve(static_cast<std::size_t>(job.requested_nodes));
     int remaining = job.requested_nodes;
-    int in_partition = 0;
+    if (policy == AllocPolicy::Pack && job.partition < 0) {
+      // The shared rms::pack_partition_order over this pool's decremented
+      // idle counts reproduces the cluster's grant exactly.
+      for (int pool : pack_partition_order(idle_parts, job.requested_nodes)) {
+        for (int id : idle_ids) {
+          if (remaining == 0) break;
+          if (partition_of(id) != pool) continue;
+          taken.push_back(id);
+          --remaining;
+        }
+        if (remaining == 0) break;
+      }
+      return taken;
+    }
     for (int id : idle_ids) {
       if (remaining == 0) break;
       if (!eligible(id, job.partition)) continue;
+      taken.push_back(id);
       --remaining;
-      if (view->node_partition[static_cast<std::size_t>(id)] == partition) {
-        ++in_partition;
-      }
+    }
+    return taken;
+  }
+
+  /// Nodes the job would take from `partition`, without committing.
+  int count_take_in(const Job& job, int partition) const {
+    if (!heterogeneous()) return job.requested_nodes;
+    int in_partition = 0;
+    for (int id : plan_take(job)) {
+      if (partition_of(id) == partition) ++in_partition;
     }
     return in_partition;
   }
@@ -66,18 +97,14 @@ struct IdlePool {
   std::vector<int> take(const Job& job) {
     idle_total -= job.requested_nodes;
     if (!heterogeneous()) return {};
-    std::vector<int> taken;
-    taken.reserve(static_cast<std::size_t>(job.requested_nodes));
+    std::vector<int> taken = plan_take(job);
+    for (int id : taken) {
+      --idle_parts[static_cast<std::size_t>(partition_of(id))];
+    }
     std::vector<int> kept;
     kept.reserve(idle_ids.size());
-    int remaining = job.requested_nodes;
     for (int id : idle_ids) {
-      if (remaining > 0 && eligible(id, job.partition)) {
-        --remaining;
-        --idle_parts[static_cast<std::size_t>(
-            view->node_partition[static_cast<std::size_t>(id)])];
-        taken.push_back(id);
-      } else {
+      if (std::find(taken.begin(), taken.end(), id) == taken.end()) {
         kept.push_back(id);
       }
     }
@@ -153,7 +180,7 @@ std::vector<Job*> schedule_pass(const ScheduleView& view,
             PendingOrder{view.now, config.weights});
 
   std::vector<Job*> started;
-  IdlePool pool(view);
+  IdlePool pool(view, config.alloc);
   // Node ids granted to each started job (synthetic on a homogeneous
   // cluster), for the shadow computation below.
   std::vector<std::vector<int>> granted;

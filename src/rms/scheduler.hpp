@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rms/cluster.hpp"
 #include "rms/job.hpp"
 #include "rms/priority.hpp"
 
@@ -26,6 +27,10 @@ namespace dmr::rms {
 
 struct SchedulerConfig {
   bool backfill = true;
+  /// Node-selection order for spanning jobs on heterogeneous clusters;
+  /// must match the cluster's policy (the manager wires both from one
+  /// config field) so the pass predicts exactly what allocate() grants.
+  AllocPolicy alloc = AllocPolicy::LowestId;
   PriorityWeights weights;
 };
 

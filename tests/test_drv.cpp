@@ -62,6 +62,35 @@ TEST(CostModel, CrMuchSlowerThanDmr) {
   EXPECT_GT(cr_s / dmr_s, 10.0);  // the Fig. 1 gap
 }
 
+TEST(CostModel, NodeSpeedScalesNetworkTransferOnly) {
+  CostModel cost;
+  const std::size_t bytes = std::size_t(1) << 30;
+  const double reference = cost.movement(bytes, 8, 16).seconds;
+  // Half-speed nodes drive the network at half rate: twice the seconds.
+  EXPECT_NEAR(cost.movement(bytes, 8, 16, 0.5).seconds, 2.0 * reference,
+              1e-9);
+  // Speed 1.0 (and the non-positive fallback) reproduce the reference.
+  EXPECT_DOUBLE_EQ(cost.movement(bytes, 8, 16, 1.0).seconds, reference);
+  EXPECT_DOUBLE_EQ(cost.movement(bytes, 8, 16, 0.0).seconds, reference);
+  // The checkpoint route prices the shared filesystem, not the nodes.
+  CostModel cr;
+  cr.use_checkpoint_restart = true;
+  EXPECT_DOUBLE_EQ(cr.movement(bytes, 8, 16, 0.5).seconds,
+                   cr.movement(bytes, 8, 16).seconds);
+  // Calibration from an observed report composes with the speed factor.
+  CostModel calibrated;
+  redist::Report observed;
+  observed.bytes_moved = std::size_t(1) << 28;
+  observed.bytes_total = observed.bytes_moved;
+  observed.transfers = 16;
+  observed.lanes = 8;
+  observed.seconds = 0.5;
+  calibrated.observe(observed);
+  const double cal = calibrated.movement(bytes, 8, 16).seconds;
+  EXPECT_NEAR(calibrated.movement(bytes, 8, 16, 0.5).seconds, 2.0 * cal,
+              1e-9);
+}
+
 TEST(CostModel, MoreLanesFasterRedistribution) {
   // Same shrink ratio, 8x the lanes: the data-movement term must shrink
   // even though the migrated fraction is slightly larger.

@@ -494,6 +494,61 @@ TEST(Scheduler, ShadowTimePerPool) {
   EXPECT_TRUE(std::isinf(shadow_time(view, 3, &extra, /*pool=*/1)));
 }
 
+TEST(Cluster, PackAllocationPicksBestFitPartition) {
+  Cluster cluster({Partition{"a", 4, 1.0}, Partition{"b", 2, 1.0},
+                   Partition{"c", 8, 1.0}});
+  cluster.set_alloc_policy(AllocPolicy::Pack);
+  // 2 nodes fit whole into the fullest partition that holds them: b.
+  EXPECT_EQ(cluster.allocate(1, 2), (std::vector<int>{4, 5}));
+  // 3 nodes now best-fit a (4 idle beats c's 8).
+  EXPECT_EQ(cluster.allocate(2, 3), (std::vector<int>{0, 1, 2}));
+  // 9 nodes fit nowhere whole: span descending idle — c (8), then a (1).
+  EXPECT_EQ(cluster.allocate(3, 9),
+            (std::vector<int>{6, 7, 8, 9, 10, 11, 12, 13, 3}));
+}
+
+TEST(Cluster, PackKeepsWholePartitionsFreeForPinnedJobs) {
+  // LowestId fragments: a 2-node spanning grant takes fast0/fast1, so a
+  // later 4-node fast-pinned job cannot start.
+  Cluster fragmented({Partition{"fast", 4, 1.0}, Partition{"slow", 2, 0.5}});
+  EXPECT_EQ(fragmented.allocate(1, 2), (std::vector<int>{0, 1}));
+  EXPECT_THROW(fragmented.allocate(2, 4, 0), std::runtime_error);
+  // Pack routes the spanning grant into the slow pair instead.
+  Cluster packed({Partition{"fast", 4, 1.0}, Partition{"slow", 2, 0.5}});
+  packed.set_alloc_policy(AllocPolicy::Pack);
+  EXPECT_EQ(packed.allocate(1, 2), (std::vector<int>{4, 5}));
+  EXPECT_EQ(packed.allocate(2, 4, 0), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Cluster, PackConstrainedGrantsUnchanged) {
+  Cluster cluster({Partition{"fast", 4, 1.0}, Partition{"slow", 2, 0.5}});
+  cluster.set_alloc_policy(AllocPolicy::Pack);
+  EXPECT_EQ(cluster.allocate(1, 2, 0), (std::vector<int>{0, 1}));
+}
+
+TEST(Scheduler, PackPolicyLetsPinnedJobStartBehindSpanningOne) {
+  // fast(4)/slow(2), all idle.  A 2-node spanning job followed by a
+  // 4-node fast-pinned job: under LowestId the spanning job fragments
+  // the fast partition and blocks the pinned head; under Pack it takes
+  // the slow pair (mirroring the cluster's grant) and both start.
+  Job spanning = make_job(1, 2, 0.0);
+  Job pinned = make_job(2, 4, 1.0);
+  pinned.partition = 0;
+
+  ScheduleView lowest_view = heterogeneous_view(10.0);
+  lowest_view.pending = {&spanning, &pinned};
+  EXPECT_EQ(schedule_pass(lowest_view, SchedulerConfig{}).size(), 1u);
+
+  ScheduleView pack_view = heterogeneous_view(10.0);
+  pack_view.pending = {&spanning, &pinned};
+  SchedulerConfig pack_config;
+  pack_config.alloc = AllocPolicy::Pack;
+  const auto started = schedule_pass(pack_view, pack_config);
+  ASSERT_EQ(started.size(), 2u);
+  EXPECT_EQ(started[0]->id, 1);
+  EXPECT_EQ(started[1]->id, 2);
+}
+
 TEST(Scheduler, ShadowTimeComputation) {
   Job r1 = make_job(1, 4, 0.0);
   r1.state = JobState::Running;
