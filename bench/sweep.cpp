@@ -18,16 +18,25 @@
 //    differences are attributable to routing alone.
 //
 // Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F]
-//               [clusters=N | --clusters N] [smoke]
+//               [clusters=N | --clusters N] [--swf FILE | swf=FILE] [smoke]
 //   smoke      CI mode: a small trace, 1 seed, 2 threads (with
 //              clusters=N: 2 members x 2 placements, the ctest/CI
 //              federation smoke)
-//   jobs=N     jobs per trace (default 1000; the paper stops at 400)
-//   seeds=N    seeds per grid cell (default 3)
+//   jobs=N     jobs per trace (default 1000; the paper stops at 400).
+//              In SWF mode this caps the replay at the first N records.
+//   seeds=N    seeds per grid cell (default 3; forced to 1 in SWF mode —
+//              an archival trace is deterministic)
 //   threads=N  worker threads (default: hardware concurrency)
 //   steps=N    reconfiguring-point steps per job (default 25, Table I FS)
-//   load=F     offered load fraction used to pace arrivals (default 0.9)
+//   load=F     offered load fraction used to pace arrivals (default 0.9;
+//              ignored in SWF mode — arrivals come from the log)
 //   clusters=N federation mode: N member clusters (default 1 = off)
+//   --swf FILE replay an SWF (Standard Workload Format) trace instead of
+//              generating a Feitelson one: records are filtered and
+//              rescaled onto each scenario's cluster (pow2-halving
+//              malleability annotation), and every line reports what the
+//              shaper dropped or clamped — a truncated replay is never
+//              presented as the whole log.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -35,6 +44,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dmr/simulation.hpp"
@@ -87,6 +98,14 @@ struct SweepOptions {
   int threads = 0;  // 0 = hardware concurrency
   int clusters = 1;  // > 1 = federation mode
   double load = 0.9;
+  std::string swf;  // non-empty = replay this SWF trace
+};
+
+/// SWF mode: one trace shaped onto one target cluster, computed once in
+/// main and shared read-only by every scenario with that target.
+struct ShapedTrace {
+  wl::Workload workload;
+  wl::ShapeReport report;
 };
 
 struct Scenario {
@@ -96,6 +115,7 @@ struct Scenario {
   const Variant* variant;
   std::uint64_t seed;
   SweepOptions options;
+  const ShapedTrace* shaped = nullptr;  // SWF mode
 };
 
 int total_nodes(const ClusterConfig& config) {
@@ -115,6 +135,16 @@ void apply_variant(rms::RmsConfig& rms, const Variant& variant) {
 /// homogeneous member, a heterogeneous fast/slow member and a small slow
 /// member, so placement policies have real trade-offs to exploit (and
 /// jobs wider than 12 nodes must fail over past every "gamma").
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 fed::ClusterSpec make_member(int index, const Variant& variant) {
   fed::ClusterSpec spec;
   const int kind = index % 3;
@@ -134,6 +164,36 @@ fed::ClusterSpec make_member(int index, const Variant& variant) {
   return spec;
 }
 
+/// {total nodes, largest member} of the federation the sweep builds for
+/// `clusters` members (node counts do not depend on the variant).
+std::pair<int, int> probe_federation(int clusters) {
+  fed::FederationConfig config;
+  for (int c = 0; c < clusters; ++c) {
+    config.clusters.push_back(make_member(c, kVariants[0]));
+  }
+  fed::Federation probe(config);
+  int max_member = 0;
+  for (int c = 0; c < probe.cluster_count(); ++c) {
+    max_member = std::max(max_member, probe.manager(c).cluster().size());
+  }
+  return {probe.total_nodes(), max_member};
+}
+
+/// Shape the archive onto one target cluster (the one shaper
+/// configuration the whole sweep uses: pow2-halving malleability,
+/// jobs=N as the replay cap).
+ShapedTrace shape_trace(const wl::SwfTrace& trace, int target_nodes,
+                        int max_job_nodes, int max_jobs) {
+  wl::TraceShaper shaper;
+  shaper.target_nodes = target_nodes;
+  shaper.max_job_nodes = max_job_nodes;
+  shaper.max_jobs = max_jobs;
+  shaper.malleability.policy = wl::Malleability::Pow2Halving;
+  ShapedTrace shaped;
+  shaped.workload = shaper.shape(trace, &shaped.report);
+  return shaped;
+}
+
 /// Build the FS workload for one scenario and run it to completion.
 std::string run_scenario(const Scenario& scenario) {
   const bool federated = scenario.options.clusters > 1;
@@ -148,11 +208,7 @@ std::string run_scenario(const Scenario& scenario) {
           make_member(c, *scenario.variant));
     }
     config.federation.placement = scenario.placement;
-    fed::Federation probe(config.federation);
-    nodes = probe.total_nodes();
-    for (int c = 0; c < probe.cluster_count(); ++c) {
-      max_member = std::max(max_member, probe.manager(c).cluster().size());
-    }
+    std::tie(nodes, max_member) = probe_federation(scenario.options.clusters);
   } else {
     config.rms.nodes = scenario.cluster->nodes;
     config.rms.partitions = scenario.cluster->partitions;
@@ -161,44 +217,57 @@ std::string run_scenario(const Scenario& scenario) {
   }
   config.asynchronous = scenario.policy.asynchronous;
 
-  wl::FeitelsonParams params;
-  params.jobs = scenario.options.jobs;
-  // The paper's preliminary-study shape: sizes up to the 20-node
-  // partition, 60 s step cap; larger clusters keep the same job-size
-  // distribution and absorb the load through parallelism.  Federated
-  // traces cap sizes at the largest member so every job fits somewhere
-  // (smaller members reject the wide ones — the failover path).
-  params.max_size = std::min(federated ? max_member : nodes, 20);
-  params.max_runtime = 60.0 * scenario.options.steps;
-  params.short_runtime_mean = 60.0;
-  params.long_runtime_mean = 600.0;
-  params.seed = scenario.seed;
-  params.mean_interarrival = wl::feitelson_balanced_interarrival(
-      params, nodes, scenario.options.load);
-  const auto workload = wl::generate_feitelson(params);
+  // Trace source: an archival SWF replay (shaped once in main), or the
+  // paper's Feitelson synthesis — both reduce to the shared
+  // wl::Workload job model.
+  wl::Workload generated;
+  const wl::Workload* workload = nullptr;
+  if (scenario.shaped != nullptr) {
+    workload = &scenario.shaped->workload;
+  } else {
+    wl::FeitelsonParams params;
+    params.jobs = scenario.options.jobs;
+    // The paper's preliminary-study shape: sizes up to the 20-node
+    // partition, 60 s step cap; larger clusters keep the same job-size
+    // distribution and absorb the load through parallelism.  Federated
+    // traces cap sizes at the largest member so every job fits somewhere
+    // (smaller members reject the wide ones — the failover path).
+    params.max_size = std::min(federated ? max_member : nodes, 20);
+    params.max_runtime = 60.0 * scenario.options.steps;
+    params.short_runtime_mean = 60.0;
+    params.long_runtime_mean = 600.0;
+    params.seed = scenario.seed;
+    params.mean_interarrival = wl::feitelson_balanced_interarrival(
+        params, nodes, scenario.options.load);
+    // The generator's historical bounds: every job may shrink to one
+    // node and grow to the trace maximum (fs_model's min/max defaults).
+    wl::MalleabilityConfig bounds;
+    bounds.policy = wl::Malleability::FractionOfRequest;
+    bounds.min_fraction = 0.0;
+    bounds.expand_limit = params.max_size;
+    generated = wl::from_feitelson(wl::generate_feitelson(params),
+                                   params.max_size, bounds);
+    workload = &generated;
+  }
 
   drv::WorkloadDriver driver(engine, config);
+  drv::PlanShape plan_shape;
+  plan_shape.steps = scenario.options.steps;
+  plan_shape.flexible = scenario.policy.flexible;
+  auto plans = drv::plans_from_workload(*workload, plan_shape);
   const int parts =
       federated ? 0 : static_cast<int>(scenario.cluster->partitions.size());
-  for (const auto& job : workload) {
-    drv::JobPlan plan;
-    plan.arrival = job.arrival;
-    plan.model = apps::fs_model(scenario.options.steps, job.size,
-                                job.runtime / scenario.options.steps,
-                                params.max_size, std::size_t(1) << 30);
-    plan.submit_nodes = job.size;
-    plan.flexible = scenario.policy.flexible;
-    if (parts > 1) {
+  for (std::size_t slot = 0; slot < plans.size(); ++slot) {
+    if (parts > 1 && slot % 2 == 0) {
       // Mixed placement: half the jobs are partition-constrained (round
       // robin over the partitions, when they fit), half span freely.
-      const std::size_t slot = static_cast<std::size_t>(job.index);
-      if (slot % 2 == 0) {
-        const auto& part = scenario.cluster->partitions
-                               [(slot / 2) % static_cast<std::size_t>(parts)];
-        if (job.size <= part.nodes) plan.partition = part.name;
+      const auto& part = scenario.cluster->partitions
+                             [(slot / 2) % static_cast<std::size_t>(parts)];
+      if (workload->jobs[slot].nodes <= part.nodes) {
+        plans[slot].partition = part.name;
       }
     }
-    driver.add(std::move(plan));
+    driver.add(std::move(plans[slot]));
   }
 
   const double start = util::wall_seconds();
@@ -223,6 +292,16 @@ std::string run_scenario(const Scenario& scenario) {
       << "\",\"seed\":" << scenario.seed << ",\"jobs\":" << metrics.jobs
       << ",\"nodes\":" << nodes << ",\"makespan\":" << metrics.makespan
       << ",\"utilization\":" << metrics.utilization;
+  if (scenario.shaped != nullptr) {
+    // Shaping telemetry: what the replay dropped or altered.  A smaller
+    // job count than the archive's is reported, never implied.
+    const wl::ShapeReport& report = scenario.shaped->report;
+    out << ",\"swf\":\"" << json_escape(scenario.options.swf)
+        << "\",\"swf_parsed\":" << report.parsed
+        << ",\"swf_kept\":" << report.kept
+        << ",\"swf_dropped\":" << report.dropped()
+        << ",\"swf_clamped\":" << report.clamped_oversize;
+  }
   for (const auto& part : metrics.partitions) {
     out << ",\"utilization_" << part.name << "\":" << part.utilization;
   }
@@ -279,12 +358,18 @@ int main(int argc, char** argv) {
                std::sscanf(argv[i + 1], "%llu", &value) == 1) {
       options.clusters = static_cast<int>(value);
       ++i;
+    } else if (std::strcmp(argv[i], "--swf") == 0 && i + 1 < argc) {
+      options.swf = argv[i + 1];
+      ++i;
+    } else if (std::strncmp(argv[i], "swf=", 4) == 0 && argv[i][4] != '\0') {
+      options.swf = argv[i] + 4;
     } else if (std::sscanf(argv[i], "load=%lf", &fraction) == 1) {
       options.load = fraction;
     } else {
       std::fprintf(stderr,
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
-                   "[load=F] [clusters=N | --clusters N] [smoke]\n",
+                   "[load=F] [clusters=N | --clusters N] "
+                   "[--swf FILE | swf=FILE] [smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -311,6 +396,21 @@ int main(int argc, char** argv) {
         std::max(1u, std::thread::hardware_concurrency());
   }
 
+  wl::SwfTrace swf_trace;
+  if (!options.swf.empty()) {
+    try {
+      swf_trace = wl::parse_swf_file(options.swf);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sweep: %s\n", error.what());
+      return 2;
+    }
+    if (options.seeds > 1) {
+      std::fprintf(stderr,
+                   "sweep: swf replay is deterministic; forcing seeds=1\n");
+    }
+    options.seeds = 1;
+  }
+
   const std::vector<ClusterConfig> clusters = {
       {"hom20", {}, 20},
       {"hom64", {}, 64},
@@ -319,19 +419,53 @@ int main(int argc, char** argv) {
        0},
   };
 
-  std::vector<Scenario> scenarios;
+  // Federation grid axes; the smoke run is the ctest/CI federation
+  // check: 2 members x 2 placements, flexible only.
+  std::vector<fed::Placement> placements;
+  std::vector<Policy> policies(std::begin(kPolicies), std::end(kPolicies));
   if (options.clusters > 1) {
-    // Federation grid: placement x DMR policy x seed on one member set;
-    // the trace depends only on the seed, so placements compete on the
-    // same workload.  The smoke run is the ctest/CI federation check:
-    // 2 members x 2 placements, flexible only.
-    std::vector<fed::Placement> placements = fed::all_placements();
-    std::vector<Policy> policies(std::begin(kPolicies), std::end(kPolicies));
+    placements = fed::all_placements();
     if (smoke) {
       options.clusters = 2;
       placements.resize(2);
       policies = {kPolicies[1]};  // flexible
     }
+  }
+
+  // SWF mode: shape the archive once per distinct target cluster, and
+  // surface every report on stderr — dropped or clamped records are
+  // announced, never presented as a complete replay.  Federated targets
+  // cap job widths at the largest member so every kept job fits
+  // somewhere (smaller members reject the wide ones — the failover
+  // path).
+  std::vector<ShapedTrace> shaped(
+      options.swf.empty() ? 0
+      : options.clusters > 1 ? 1
+                             : clusters.size());
+  if (!options.swf.empty()) {
+    const auto log_shape = [&](const ShapedTrace& entry,
+                               const std::string& name) {
+      std::fprintf(stderr, "sweep: swf %s -> %s: %s\n", options.swf.c_str(),
+                   name.c_str(), entry.report.describe().c_str());
+    };
+    if (options.clusters > 1) {
+      const auto [total, max_member] = probe_federation(options.clusters);
+      shaped[0] = shape_trace(swf_trace, total, max_member, options.jobs);
+      log_shape(shaped[0], "fed" + std::to_string(options.clusters));
+    } else {
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const int nodes = total_nodes(clusters[c]);
+        shaped[c] = shape_trace(swf_trace, nodes, nodes, options.jobs);
+        log_shape(shaped[c], clusters[c].name);
+      }
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  if (options.clusters > 1) {
+    // Federation grid: placement x DMR policy x seed on one member set;
+    // the trace depends only on the seed, so placements compete on the
+    // same workload.
     for (fed::Placement placement : placements) {
       for (const Policy& policy : policies) {
         for (int s = 0; s < options.seeds; ++s) {
@@ -341,12 +475,14 @@ int main(int argc, char** argv) {
           scenario.variant = &kVariants[0];
           scenario.seed = 2017 + static_cast<std::uint64_t>(s);
           scenario.options = options;
+          if (!options.swf.empty()) scenario.shaped = &shaped[0];
           scenarios.push_back(scenario);
         }
       }
     }
   } else {
-    for (const auto& cluster : clusters) {
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const auto& cluster = clusters[c];
       for (const Policy& policy : kPolicies) {
         for (const Variant& variant : kVariants) {
           // Pack only differs from base on heterogeneous configs.
@@ -361,6 +497,7 @@ int main(int argc, char** argv) {
             scenario.variant = &variant;
             scenario.seed = 2017 + static_cast<std::uint64_t>(s);
             scenario.options = options;
+            if (!options.swf.empty()) scenario.shaped = &shaped[c];
             scenarios.push_back(scenario);
           }
         }

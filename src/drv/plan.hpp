@@ -1,0 +1,34 @@
+// wl::Workload -> drv::JobPlan conversion: the one place any trace
+// source (Feitelson generator, SWF archive) becomes driver input.  Each
+// job runs the Flexible Sleep model (perfect scaling, `steps`
+// reconfiguring points, per-step time calibrated so the job's total
+// runtime at its submit size matches the trace) with the DMR request
+// bounds taken from the job's malleability annotation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "drv/workload_driver.hpp"
+#include "wl/workload.hpp"
+
+namespace dmr::drv {
+
+struct PlanShape {
+  /// Reconfiguring-point steps per job (Table I FS runs 25).
+  int steps = 25;
+  /// Expose reconfiguring points.  A job whose annotation is effectively
+  /// rigid (min == max == submit size) is planned as fixed either way —
+  /// it has no room to reconfigure, so it should not pay check overhead.
+  bool flexible = true;
+  /// Moldable submission (scheduler may start below the submit size).
+  bool moldable = false;
+  /// Bytes redistributed on a resize.
+  std::size_t state_bytes = std::size_t(1) << 30;
+};
+
+/// One JobPlan per workload job, in workload order.
+std::vector<JobPlan> plans_from_workload(const wl::Workload& workload,
+                                         const PlanShape& shape);
+
+}  // namespace dmr::drv
