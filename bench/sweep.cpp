@@ -18,7 +18,8 @@
 //    differences are attributable to routing alone.
 //
 // Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F]
-//               [clusters=N | --clusters N] [--swf FILE | swf=FILE] [smoke]
+//               [clusters=N | --clusters N] [--members SPEC]
+//               [--swf FILE | swf=FILE] [--append-json FILE] [smoke]
 //   smoke      CI mode: a small trace, 1 seed, 2 threads (with
 //              clusters=N: 2 members x 2 placements, the ctest/CI
 //              federation smoke)
@@ -31,6 +32,16 @@
 //   load=F     offered load fraction used to pace arrivals (default 0.9;
 //              ignored in SWF mode — arrivals come from the log)
 //   clusters=N federation mode: N member clusters (default 1 = off)
+//   --members SPEC
+//              federation member mix (fed::parse_member_mix grammar,
+//              e.g. "16x64,8x128:speed=0.6"); the default reproduces
+//              the historical alpha/beta/gamma cycle.  Indices past the
+//              mix cycle through it again, so a small mix still scales
+//              to --clusters 64.
+//   --append-json FILE
+//              append the end-of-run summary line (cells/sec and the
+//              grid shape) to FILE, so repeated runs accumulate the
+//              perf trajectory (BENCH_sweep.json)
 //   --swf FILE replay an SWF (Standard Workload Format) trace instead of
 //              generating a Feitelson one: records are filtered and
 //              rescaled onto each scenario's cluster (pow2-halving
@@ -99,6 +110,8 @@ struct SweepOptions {
   int clusters = 1;  // > 1 = federation mode
   double load = 0.9;
   std::string swf;  // non-empty = replay this SWF trace
+  std::string members = fed::kDefaultMemberMix;  // federation member mix
+  std::string append_json;  // non-empty = append the summary line here
 };
 
 /// SWF mode: one trace shaped onto one target cluster, computed once in
@@ -111,6 +124,7 @@ struct ShapedTrace {
 struct Scenario {
   const ClusterConfig* cluster = nullptr;  // single-cluster mode
   fed::Placement placement = fed::Placement::RoundRobin;  // federation mode
+  const fed::MemberMix* mix = nullptr;                    // federation mode
   Policy policy;
   const Variant* variant;
   std::uint64_t seed;
@@ -131,10 +145,6 @@ void apply_variant(rms::RmsConfig& rms, const Variant& variant) {
   rms.scheduler.alloc = variant.alloc;
 }
 
-/// Member cluster i of the federation: a repeating mix of a large
-/// homogeneous member, a heterogeneous fast/slow member and a small slow
-/// member, so placement policies have real trade-offs to exploit (and
-/// jobs wider than 12 nodes must fail over past every "gamma").
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -145,38 +155,35 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-fed::ClusterSpec make_member(int index, const Variant& variant) {
-  fed::ClusterSpec spec;
-  const int kind = index % 3;
-  const std::string suffix = index < 3 ? "" : std::to_string(index / 3 + 1);
-  if (kind == 0) {
-    spec.name = "alpha" + suffix;
-    spec.rms.nodes = 24;
-  } else if (kind == 1) {
-    spec.name = "beta" + suffix;
-    spec.rms.partitions = {rms::Partition{"fast", 16, 1.25},
-                           rms::Partition{"slow", 8, 0.6}};
-  } else {
-    spec.name = "gamma" + suffix;
-    spec.rms.partitions = {rms::Partition{"g", 12, 0.8}};
-  }
+/// Member cluster `index` of the federation: the --members mix (default:
+/// the historical alpha/beta/gamma cycle — a large homogeneous member, a
+/// heterogeneous fast/slow member and a small slow member, so placement
+/// policies have real trade-offs to exploit).
+fed::ClusterSpec make_member(const fed::MemberMix& mix, int index,
+                             const Variant& variant) {
+  fed::ClusterSpec spec = fed::member_spec(mix, index);
   apply_variant(spec.rms, variant);
   return spec;
 }
 
 /// {total nodes, largest member} of the federation the sweep builds for
-/// `clusters` members (node counts do not depend on the variant).
-std::pair<int, int> probe_federation(int clusters) {
-  fed::FederationConfig config;
-  for (int c = 0; c < clusters; ++c) {
-    config.clusters.push_back(make_member(c, kVariants[0]));
-  }
-  fed::Federation probe(config);
+/// `clusters` members of `mix` (node counts do not depend on the
+/// variant).
+std::pair<int, int> probe_federation(const fed::MemberMix& mix, int clusters) {
+  int total = 0;
   int max_member = 0;
-  for (int c = 0; c < probe.cluster_count(); ++c) {
-    max_member = std::max(max_member, probe.manager(c).cluster().size());
+  for (int c = 0; c < clusters; ++c) {
+    const fed::ClusterSpec spec = fed::member_spec(mix, c);
+    int nodes = 0;
+    if (spec.rms.partitions.empty()) {
+      nodes = spec.rms.nodes;
+    } else {
+      for (const auto& part : spec.rms.partitions) nodes += part.nodes;
+    }
+    total += nodes;
+    max_member = std::max(max_member, nodes);
   }
-  return {probe.total_nodes(), max_member};
+  return {total, max_member};
 }
 
 /// Shape the archive onto one target cluster (the one shaper
@@ -205,10 +212,11 @@ std::string run_scenario(const Scenario& scenario) {
   if (federated) {
     for (int c = 0; c < scenario.options.clusters; ++c) {
       config.federation.clusters.push_back(
-          make_member(c, *scenario.variant));
+          make_member(*scenario.mix, c, *scenario.variant));
     }
     config.federation.placement = scenario.placement;
-    std::tie(nodes, max_member) = probe_federation(scenario.options.clusters);
+    std::tie(nodes, max_member) =
+        probe_federation(*scenario.mix, scenario.options.clusters);
   } else {
     config.rms.nodes = scenario.cluster->nodes;
     config.rms.partitions = scenario.cluster->partitions;
@@ -363,13 +371,22 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strncmp(argv[i], "swf=", 4) == 0 && argv[i][4] != '\0') {
       options.swf = argv[i] + 4;
+    } else if (std::strcmp(argv[i], "--members") == 0 && i + 1 < argc) {
+      options.members = argv[i + 1];
+      ++i;
+    } else if (std::strncmp(argv[i], "members=", 8) == 0 &&
+               argv[i][8] != '\0') {
+      options.members = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--append-json") == 0 && i + 1 < argc) {
+      options.append_json = argv[i + 1];
+      ++i;
     } else if (std::sscanf(argv[i], "load=%lf", &fraction) == 1) {
       options.load = fraction;
     } else {
       std::fprintf(stderr,
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
-                   "[load=F] [clusters=N | --clusters N] "
-                   "[--swf FILE | swf=FILE] [smoke]\n",
+                   "[load=F] [clusters=N | --clusters N] [--members SPEC] "
+                   "[--swf FILE | swf=FILE] [--append-json FILE] [smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -394,6 +411,14 @@ int main(int argc, char** argv) {
   if (options.threads <= 0) {
     options.threads =
         std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  fed::MemberMix mix;
+  try {
+    mix = fed::parse_member_mix(options.members);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep: %s\n", error.what());
+    return 2;
   }
 
   wl::SwfTrace swf_trace;
@@ -449,7 +474,7 @@ int main(int argc, char** argv) {
                    name.c_str(), entry.report.describe().c_str());
     };
     if (options.clusters > 1) {
-      const auto [total, max_member] = probe_federation(options.clusters);
+      const auto [total, max_member] = probe_federation(mix, options.clusters);
       shaped[0] = shape_trace(swf_trace, total, max_member, options.jobs);
       log_shape(shaped[0], "fed" + std::to_string(options.clusters));
     } else {
@@ -471,6 +496,7 @@ int main(int argc, char** argv) {
         for (int s = 0; s < options.seeds; ++s) {
           Scenario scenario;
           scenario.placement = placement;
+          scenario.mix = &mix;
           scenario.policy = policy;
           scenario.variant = &kVariants[0];
           scenario.seed = 2017 + static_cast<std::uint64_t>(s);
@@ -529,11 +555,28 @@ int main(int argc, char** argv) {
   const double wall = util::wall_seconds() - start;
 
   for (const auto& line : lines) std::printf("%s\n", line.c_str());
-  std::printf(
+  char summary[512];
+  std::snprintf(
+      summary, sizeof(summary),
       "{\"bench\":\"sweep\",\"summary\":true,\"scenarios\":%zu,"
-      "\"clusters\":%d,\"threads\":%d,\"jobs_per_trace\":%d,"
-      "\"wall_seconds\":%.3f,\"scenarios_per_second\":%.2f}\n",
-      scenarios.size(), options.clusters, worker_count, options.jobs, wall,
+      "\"clusters\":%d,\"members\":\"%s\",\"threads\":%d,"
+      "\"jobs_per_trace\":%d,\"wall_seconds\":%.3f,"
+      "\"cells_per_second\":%.2f}",
+      scenarios.size(), options.clusters,
+      json_escape(options.members).c_str(), worker_count, options.jobs, wall,
       wall > 0.0 ? static_cast<double>(scenarios.size()) / wall : 0.0);
+  std::printf("%s\n", summary);
+  if (!options.append_json.empty()) {
+    // Accumulate the perf trajectory: one summary line per run, appended
+    // so successive PRs can plot cells/sec over time (BENCH_sweep.json).
+    std::FILE* file = std::fopen(options.append_json.c_str(), "a");
+    if (file == nullptr) {
+      std::fprintf(stderr, "sweep: cannot append to %s\n",
+                   options.append_json.c_str());
+      return 1;
+    }
+    std::fprintf(file, "%s\n", summary);
+    std::fclose(file);
+  }
   return 0;
 }

@@ -10,11 +10,13 @@
 //   dmr::Placement         — built-in policy kinds (round-robin,
 //                            least-loaded, best-fit-speed, queue-depth)
 //   dmr::fed::PlacementPolicy — the interface custom policies implement
+//   dmr::MemberMix          — parsed member-mix spec ("16x64,8x128:...")
 #pragma once
 
 #include "dmr/manager.hpp"   // IWYU pragma: export
 #include "dmr/rms.hpp"       // IWYU pragma: export
 #include "fed/federation.hpp"  // IWYU pragma: export
+#include "fed/member_mix.hpp"  // IWYU pragma: export
 #include "fed/placement.hpp"   // IWYU pragma: export
 
 namespace dmr {
@@ -22,6 +24,9 @@ namespace dmr {
 using fed::ClusterSpec;
 using fed::Federation;
 using fed::FederationConfig;
+using fed::member_spec;
+using fed::MemberMix;
+using fed::parse_member_mix;
 using fed::Placement;
 
 }  // namespace dmr

@@ -1,0 +1,28 @@
+// Resident service mode: the simulator as a long-running system.
+//
+// Streaming submissions through a bounded SPSC ring with explicit
+// backpressure, sliding-window live metrics as JSON-lines, and
+// snapshot/restore with what-if forks from any simulated instant.
+#pragma once
+
+#include "svc/metrics_window.hpp"  // IWYU pragma: export
+#include "svc/service.hpp"         // IWYU pragma: export
+#include "svc/snapshot.hpp"        // IWYU pragma: export
+#include "svc/submit_queue.hpp"    // IWYU pragma: export
+
+namespace dmr {
+
+using svc::fork_and_run;
+using svc::ForkReport;
+using svc::JobRequest;
+using svc::restore;
+using svc::snapshot;
+using svc::MetricsSample;
+using svc::PushResult;
+using svc::Service;
+using svc::ServiceConfig;
+using svc::Snapshot;
+using svc::SubmitQueue;
+using svc::WhatIf;
+
+}  // namespace dmr

@@ -57,7 +57,14 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
   });
 }
 
-void WorkloadDriver::add(JobPlan plan) {
+WorkloadDriver::Exec& WorkloadDriver::enqueue(JobPlan plan) {
+  if (plan.arrival < engine_.now()) {
+    throw std::invalid_argument(
+        "WorkloadDriver: job '" + plan.model.name + "' arrival " +
+        std::to_string(plan.arrival) + " precedes the simulated clock " +
+        std::to_string(engine_.now()) +
+        " (stale submissions are rejected, not reordered)");
+  }
   if (plan.time_limit <= 0.0) {
     // Scale the estimate by the slowest node speed the job can land on
     // anywhere in the federation: its named partition's speed where
@@ -71,6 +78,20 @@ void WorkloadDriver::add(JobPlan plan) {
   auto exec = std::make_unique<Exec>();
   exec->plan = std::move(plan);
   execs_.push_back(std::move(exec));
+  return *execs_.back();
+}
+
+void WorkloadDriver::add(JobPlan plan) { enqueue(std::move(plan)); }
+
+void WorkloadDriver::schedule_arrival(Exec& exec) {
+  exec.scheduled = true;
+  engine_.schedule_at(
+      exec.plan.arrival, [this, e = &exec] { submit(*e); },
+      sim::Lane::Arrival);
+}
+
+void WorkloadDriver::submit_at(JobPlan plan) {
+  schedule_arrival(enqueue(std::move(plan)));
 }
 
 void WorkloadDriver::submit(Exec& exec) {
@@ -239,16 +260,18 @@ void WorkloadDriver::collect_cluster_metrics(WorkloadMetrics& metrics,
 }
 
 WorkloadMetrics WorkloadDriver::run() {
-  // Schedule arrivals.
+  // Schedule arrivals not already fed through submit_at().
   for (auto& exec : execs_) {
-    engine_.schedule_at(exec->plan.arrival,
-                        [this, e = exec.get()] { submit(*e); });
+    if (!exec->scheduled) schedule_arrival(*exec);
   }
   engine_.run();
   if (!federation_.all_done()) {
     throw std::logic_error("WorkloadDriver: engine drained with live jobs");
   }
+  return collect_metrics();
+}
 
+WorkloadMetrics WorkloadDriver::collect_metrics() const {
   WorkloadMetrics metrics;
   std::vector<double> waits, execs, completions;
   double makespan = 0.0;
@@ -266,12 +289,14 @@ WorkloadMetrics WorkloadDriver::run() {
   metrics.completion = util::summarize(std::move(completions));
   // Utilization integrates over [first arrival, makespan]: a staggered
   // workload's dead lead-in (nothing submitted yet) is not the cluster's
-  // fault and used to understate the metric.
+  // fault and used to understate the metric.  An empty window — no
+  // arrivals yet, or nothing completed (makespan == first arrival) —
+  // leaves utilization at 0 instead of dividing by a zero-length span.
   double first_arrival = makespan;
   for (const auto& exec : execs_) {
     first_arrival = std::min(first_arrival, exec->plan.arrival);
   }
-  if (trace_.has("allocated") && makespan > first_arrival) {
+  if (!execs_.empty() && trace_.has("allocated") && makespan > first_arrival) {
     metrics.utilization =
         trace_.average("allocated", first_arrival, makespan) /
         federation_.total_nodes();

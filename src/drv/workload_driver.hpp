@@ -75,11 +75,33 @@ class WorkloadDriver {
  public:
   WorkloadDriver(sim::Engine& engine, DriverConfig config);
 
+  /// Queue a plan for run() to schedule.  Throws std::invalid_argument
+  /// when the arrival lies before the current simulated clock — the
+  /// driver never silently reorders a stale submission.
   void add(JobPlan plan);
+
+  /// Incremental feed (service mode): schedule the submission right now,
+  /// whether or not the engine is already running.  The arrival must not
+  /// precede the current simulated clock (std::invalid_argument
+  /// otherwise, same contract as add()).  Arrival events ride
+  /// sim::Lane::Arrival, so a submission scheduled mid-run interleaves
+  /// with same-instant events exactly like one scheduled up front — the
+  /// property the snapshot/replay machinery depends on.
+  void submit_at(JobPlan plan);
 
   /// Run to completion; returns the workload metrics (federation-wide,
   /// with per-member ClusterMetrics on multi-cluster runs).
   WorkloadMetrics run();
+
+  /// Metrics over the jobs completed *so far* — callable mid-run (the
+  /// resident service samples it between run_until() slices) and equal
+  /// to run()'s result once the workload drains.  Empty windows (no
+  /// arrivals yet, or nothing completed) yield zeroed metrics, never
+  /// NaN.
+  WorkloadMetrics collect_metrics() const;
+
+  /// Jobs whose sessions completed so far.
+  int completed() const { return completed_; }
 
   const sim::TraceRecorder& trace() const { return trace_; }
   /// The federation the driver runs against (a single member unless
@@ -101,10 +123,14 @@ class WorkloadDriver {
     JobPlan plan;
     rms::JobId id = rms::kInvalidJob;
     int steps_left = 0;
+    /// Arrival event already scheduled (submit_at feeds; run() skips).
+    bool scheduled = false;
     std::unique_ptr<::dmr::Session> session;
     std::unique_ptr<::dmr::ReconfigEngine> engine;
   };
 
+  Exec& enqueue(JobPlan plan);
+  void schedule_arrival(Exec& exec);
   void submit(Exec& exec);
   void on_started(const rms::Job& job);
   /// First reconfiguring point, right after the allocation (Listing 2

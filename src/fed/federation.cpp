@@ -227,6 +227,26 @@ double Federation::conservative_speed(const std::string& partition) const {
   return slowest;
 }
 
+void Federation::set_placement(Placement placement) {
+  config_.placement = placement;
+  config_.policy.reset();
+  policy_ = std::shared_ptr<PlacementPolicy>(make_placement(placement));
+}
+
+void Federation::set_placement_policy(std::shared_ptr<PlacementPolicy> policy) {
+  if (!policy) {
+    throw std::invalid_argument("Federation: null placement policy");
+  }
+  config_.policy = policy;
+  policy_ = std::move(policy);
+}
+
+void Federation::add_nodes(int member, int count,
+                           const std::string& partition) {
+  manager(member).add_nodes(count, partition);
+  total_nodes_ += count;
+}
+
 void Federation::on_start(rms::Manager::JobCallback cb) {
   // One shared callback registered with every member: the job record
   // carries a globally unique id, so receivers need no member context.

@@ -109,6 +109,16 @@ class Federation : public ::dmr::Rms {
   const std::vector<long long>& placements() const { return placements_; }
   const PlacementPolicy& placement_policy() const { return *policy_; }
 
+  // --- live reconfiguration (service-mode what-if hooks) ---------------------
+
+  /// Swap the placement policy at runtime; affects submissions from now
+  /// on (jobs already routed stay where they are).
+  void set_placement(Placement placement);
+  void set_placement_policy(std::shared_ptr<PlacementPolicy> policy);
+  /// Grow `member`'s cluster by `count` idle nodes (in `partition`, the
+  /// member's first partition when empty).
+  void add_nodes(int member, int count, const std::string& partition = "");
+
   /// Slowest speed a job constrained to `partition` (empty = any) could
   /// be gated by on any member able to host it: the pinned partition's
   /// speed where named, the member's slowest partition for spanning

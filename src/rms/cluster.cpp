@@ -113,6 +113,29 @@ std::vector<int> pack_partition_order(
   return order;
 }
 
+void Cluster::add_nodes(int count, int partition) {
+  if (count <= 0) {
+    throw std::invalid_argument("Cluster: non-positive node count to add");
+  }
+  if (partition < 0 || partition >= partition_count()) {
+    throw std::out_of_range("Cluster: add_nodes partition out of range");
+  }
+  Partition& part = partitions_[static_cast<std::size_t>(partition)];
+  int local = part.nodes;
+  for (int added = 0; added < count; ++added, ++local) {
+    Node node;
+    node.id = size();
+    node.name = part.name + std::to_string(local);
+    node.partition = partition;
+    node.speed = part.speed;
+    nodes_.push_back(std::move(node));
+    node_partition_.push_back(partition);
+  }
+  part.nodes += count;
+  idle_per_partition_[static_cast<std::size_t>(partition)] += count;
+  idle_count_ += count;
+}
+
 std::vector<int> Cluster::allocate(JobId job, int count, int partition) {
   if (count <= 0) throw std::invalid_argument("Cluster: non-positive count");
   const int available =

@@ -111,6 +111,13 @@ class Cluster {
     return nodes_.at(static_cast<std::size_t>(id));
   }
 
+  /// Grow a partition by `count` idle nodes (the service's "+N nodes"
+  /// what-if).  New nodes get the next ids and continue the partition's
+  /// local naming; existing allocations are untouched.  All node lookups
+  /// go through the per-node partition index, so the appended range is
+  /// legal even when it makes the partition's id range non-contiguous.
+  void add_nodes(int count, int partition = 0);
+
   /// Allocate `count` idle nodes to `job`; returns their ids.  When
   /// `partition` is not kAnyPartition only that partition's nodes are
   /// eligible and the grant takes lowest ids first.  Spanning grants

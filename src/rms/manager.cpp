@@ -140,6 +140,23 @@ void Manager::start_job(Job& job, double now) {
   notify_alloc();
 }
 
+void Manager::add_nodes(int count, const std::string& partition) {
+  int index = 0;
+  if (!partition.empty()) {
+    index = cluster_.partition_index(partition);
+    if (index == kAnyPartition) {
+      throw std::invalid_argument("Manager: add_nodes to unknown partition '" +
+                                  partition + "'");
+    }
+  }
+  cluster_.add_nodes(count, index);
+  // The multifactor size weight normalizes by the cluster size; keep it
+  // in step so priorities stay comparable after the growth.
+  config_.scheduler.weights.cluster_size = cluster_.size();
+  mark_queue_changed();
+  notify_alloc();
+}
+
 std::vector<JobId> Manager::schedule(double now) {
   ++counters_.schedule_requests;
   std::vector<JobId> started;

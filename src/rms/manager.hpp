@@ -103,6 +103,17 @@ class Manager : public ::dmr::Rms {
   /// to the parent job.  Returns the transferred node ids.
   std::vector<int> harvest_resizer(JobId resizer, double now);
 
+  // --- live reconfiguration (service-mode what-if hooks) ---------------------
+
+  /// Grow the cluster by `count` idle nodes in `partition` (the first
+  /// partition when empty; unknown names throw).  Marks placements dirty
+  /// so the next schedule() sees the new capacity.
+  void add_nodes(int count, const std::string& partition = "");
+  /// Flip Algorithm 1's shrink priority boost at runtime.
+  void set_shrink_priority_boost(bool enabled) {
+    config_.shrink_priority_boost = enabled;
+  }
+
   // --- queries ---------------------------------------------------------------
 
   const Job& job(JobId id) const;

@@ -6,22 +6,22 @@
 
 namespace dmr::sim {
 
-EventId Engine::schedule_at(SimTime at, Callback fn) {
+EventId Engine::schedule_at(SimTime at, Callback fn, Lane lane) {
   if (at < now_) {
     throw std::invalid_argument("Engine::schedule_at: time in the past");
   }
   const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
+  queue_.push(Entry{at, lane, next_seq_++, id});
   live_.insert(id);
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-EventId Engine::schedule_after(SimTime delay, Callback fn) {
+EventId Engine::schedule_after(SimTime delay, Callback fn, Lane lane) {
   if (delay < 0.0) {
     throw std::invalid_argument("Engine::schedule_after: negative delay");
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), lane);
 }
 
 bool Engine::cancel(EventId id) {

@@ -2,8 +2,16 @@
 //
 // The workload-scale experiments (Figs. 3-12, Table II) run the resource
 // manager and hundreds of jobs in virtual time on this engine.  Events are
-// ordered by (time, sequence) so same-instant events fire in scheduling
-// order, which keeps runs bit-reproducible.
+// ordered by (time, lane, sequence) so same-instant events fire in a
+// deterministic order, which keeps runs bit-reproducible.
+//
+// Lanes make that order *canonical* across different scheduling
+// histories: a submission arrival scheduled up front (batch replay) and
+// the same arrival scheduled mid-run (streaming service mode) land in
+// the same position relative to other events at the same instant.  The
+// resident service's snapshot/restore machinery depends on this — a
+// restored run re-schedules the whole submission log before running, and
+// lanes guarantee the replayed event interleaving matches the live one.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,20 @@ using EventId = std::uint64_t;
 
 constexpr EventId kInvalidEvent = 0;
 
+/// Same-instant ordering bands.  Within a lane, events fire in the order
+/// they were scheduled; across lanes the lower lane always fires first.
+enum class Lane : std::uint8_t {
+  /// Job submissions: always first at their instant, whether scheduled up
+  /// front (batch / snapshot replay) or mid-run (streaming service).
+  Arrival = 0,
+  /// Everything else (the default).
+  Normal = 1,
+  /// Observers (the service's metrics sampler): fire after every
+  /// state-changing event at the same instant, so a sample at time t
+  /// always sees the settled post-t state.
+  Sample = 2,
+};
+
 class Engine {
  public:
   using Callback = std::function<void()>;
@@ -29,10 +51,10 @@ class Engine {
 
   /// Schedule `fn` at absolute virtual time `at` (>= now).  Returns a
   /// handle usable with cancel().
-  EventId schedule_at(SimTime at, Callback fn);
+  EventId schedule_at(SimTime at, Callback fn, Lane lane = Lane::Normal);
 
   /// Schedule `fn` after a virtual delay (>= 0).
-  EventId schedule_after(SimTime delay, Callback fn);
+  EventId schedule_after(SimTime delay, Callback fn, Lane lane = Lane::Normal);
 
   /// Cancel a pending event.  Returns false when the event already fired,
   /// was cancelled, or never existed.
@@ -74,12 +96,14 @@ class Engine {
  private:
   struct Entry {
     SimTime time;
+    Lane lane;
     std::uint64_t seq;
     EventId id;
   };
   struct EntryOrder {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.lane != b.lane) return a.lane > b.lane;
       return a.seq > b.seq;
     }
   };

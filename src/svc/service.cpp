@@ -1,0 +1,141 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/models.hpp"
+
+namespace dmr::svc {
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      driver_(engine_, config.driver),
+      queue_(config.queue_capacity),
+      window_(config.window, config.sample_period) {
+  // Windowed collectors feed off the same RMS callbacks the trace uses.
+  fed::Federation& federation = driver_.federation_mutable();
+  federation.on_end([this](const rms::Job& job) {
+    window_.observe_completion(job.wait_time(), job.completion_time());
+  });
+  for (int c = 0; c < federation.cluster_count(); ++c) {
+    federation.manager(c).on_resize(
+        [this](const rms::Job&, rms::Action, int, int, double) {
+          window_.observe_reconfig();
+        });
+  }
+  // The sampler chain: one Lane::Sample event per period, rescheduling
+  // itself forever.  Sample events fire after every state-changing event
+  // at the same instant, so a sample at t reports the settled state.
+  sampler_ = [this] {
+    take_sample();
+    engine_.schedule_after(config_.sample_period, sampler_, sim::Lane::Sample);
+  };
+  engine_.schedule_after(config_.sample_period, sampler_, sim::Lane::Sample);
+}
+
+bool Service::submit(JobRequest request) {
+  if (request.arrival < engine_.now()) {
+    ++rejected_stale_;
+    return false;
+  }
+  if (first_arrival_ < 0.0 || request.arrival < first_arrival_) {
+    first_arrival_ = request.arrival;
+  }
+  log_.push_back(request);
+  driver_.submit_at(to_plan(request));
+  ++accepted_;
+  return true;
+}
+
+void Service::pump() {
+  JobRequest request;
+  while (queue_.pop(request)) submit(std::move(request));
+}
+
+void Service::advance_to(double t) {
+  if (t < engine_.now()) {
+    throw std::invalid_argument("Service: advance_to into the past");
+  }
+  pump();
+  engine_.run_until(t);
+}
+
+bool Service::drain(double max_sim_time) {
+  for (;;) {
+    pump();
+    if (all_done() && queue_.empty()) return true;
+    if (engine_.now() >= max_sim_time) return false;
+    advance_to(std::min(max_sim_time, engine_.now() + config_.sample_period));
+  }
+}
+
+drv::JobPlan Service::to_plan(const JobRequest& request) const {
+  if (request.nodes <= 0 || request.steps <= 0 || request.runtime < 0.0) {
+    throw std::invalid_argument("Service: malformed job request");
+  }
+  drv::JobPlan plan;
+  plan.arrival = request.arrival;
+  plan.model = apps::fs_model(request.steps, request.nodes,
+                              request.runtime / request.steps,
+                              request.max_nodes, request.state_bytes);
+  plan.model.request.min_procs = std::max(1, request.min_nodes);
+  plan.model.request.max_procs = std::max(request.nodes, request.max_nodes);
+  plan.submit_nodes = request.nodes;
+  const bool rigid =
+      request.min_nodes == request.nodes && request.max_nodes == request.nodes;
+  plan.flexible = request.flexible && !rigid;
+  plan.moldable = request.moldable;
+  plan.partition = request.partition;
+  return plan;
+}
+
+void Service::take_sample() {
+  MetricsSample sample;
+  sample.time = engine_.now();
+  window_.fill(sample);
+  const fed::Federation& federation = driver_.federation();
+  int pending = 0;
+  for (int c = 0; c < federation.cluster_count(); ++c) {
+    pending += static_cast<int>(
+        federation.manager(c).pending_snapshot(engine_.now()).size());
+  }
+  sample.queue_depth = pending;
+  sample.ring_depth = static_cast<int>(queue_.size());
+  // Utilization over the trailing window, clipped to the first arrival:
+  // an empty window (nothing submitted yet, or a zero-length span)
+  // reports 0 instead of dividing by zero.
+  const double t1 = engine_.now();
+  double t0 = std::max(0.0, t1 - window_.window_seconds());
+  if (first_arrival_ >= 0.0) t0 = std::max(t0, first_arrival_);
+  const sim::TraceRecorder& trace = driver_.trace();
+  if (first_arrival_ >= 0.0 && t1 > t0 && trace.has("allocated")) {
+    sample.utilization =
+        trace.average("allocated", t0, t1) / federation.total_nodes();
+  }
+  sample.submitted_total = accepted_;
+  sample.rejected_full_total =
+      static_cast<long long>(queue_.rejected_full());
+  sample.rejected_stale_total = rejected_stale_;
+  window_.rotate();
+  samples_.push_back(sample);
+  lines_.push_back(sample.to_json());
+  if (sink_) sink_(lines_.back());
+}
+
+void Service::add_nodes(int count, int member, const std::string& partition) {
+  driver_.federation_mutable().add_nodes(member, count, partition);
+  driver_.federation_mutable().schedule(engine_.now());
+}
+
+void Service::set_placement(fed::Placement placement) {
+  driver_.federation_mutable().set_placement(placement);
+}
+
+void Service::set_shrink_boost(bool enabled) {
+  fed::Federation& federation = driver_.federation_mutable();
+  for (int c = 0; c < federation.cluster_count(); ++c) {
+    federation.manager(c).set_shrink_priority_boost(enabled);
+  }
+}
+
+}  // namespace dmr::svc

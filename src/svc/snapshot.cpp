@@ -1,0 +1,163 @@
+#include "svc/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/clock.hpp"
+
+namespace dmr::svc {
+
+namespace {
+
+constexpr const char* kHeader = "dmrsvc-snapshot";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+std::string Snapshot::serialize() const {
+  std::ostringstream out;
+  out.precision(17);  // round-trip doubles exactly
+  out << kHeader << " v" << kVersion << " time=" << time
+      << " n=" << submissions.size() << "\n";
+  for (const JobRequest& request : submissions) {
+    out << request.tag << ' ' << request.arrival << ' ' << request.nodes << ' '
+        << request.min_nodes << ' ' << request.max_nodes << ' '
+        << request.runtime << ' ' << request.steps << ' '
+        << (request.flexible ? 1 : 0) << ' ' << (request.moldable ? 1 : 0)
+        << ' ' << request.state_bytes << ' '
+        << (request.partition.empty() ? "-" : request.partition) << "\n";
+  }
+  return out.str();
+}
+
+Snapshot Snapshot::deserialize(const std::string& text, ServiceConfig config) {
+  std::istringstream in(text);
+  std::string header, version;
+  Snapshot snapshot;
+  snapshot.config = std::move(config);
+  std::size_t count = 0;
+  {
+    std::string time_field, count_field;
+    if (!(in >> header >> version >> time_field >> count_field) ||
+        header != kHeader || version != "v" + std::to_string(kVersion) ||
+        time_field.rfind("time=", 0) != 0 || count_field.rfind("n=", 0) != 0) {
+      throw std::invalid_argument("Snapshot: malformed header");
+    }
+    snapshot.time = std::stod(time_field.substr(5));
+    count = std::stoul(count_field.substr(2));
+  }
+  snapshot.submissions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    JobRequest request;
+    int flexible = 0, moldable = 0;
+    std::string partition;
+    if (!(in >> request.tag >> request.arrival >> request.nodes >>
+          request.min_nodes >> request.max_nodes >> request.runtime >>
+          request.steps >> flexible >> moldable >> request.state_bytes >>
+          partition)) {
+      throw std::invalid_argument("Snapshot: truncated at submission " +
+                                  std::to_string(i));
+    }
+    request.flexible = flexible != 0;
+    request.moldable = moldable != 0;
+    if (partition != "-") request.partition = std::move(partition);
+    snapshot.submissions.push_back(std::move(request));
+  }
+  return snapshot;
+}
+
+Snapshot snapshot(const Service& service) {
+  Snapshot captured;
+  captured.config = service.config();
+  captured.submissions = service.submission_log();
+  captured.time = service.now();
+  return captured;
+}
+
+std::unique_ptr<Service> restore(const Snapshot& snapshot) {
+  auto service = std::make_unique<Service>(snapshot.config);
+  // Replay the accepted log through the same validated path, then run to
+  // the captured instant.  All arrival events land on Lane::Arrival, so
+  // the replayed interleaving matches the live one event for event.
+  for (const JobRequest& request : snapshot.submissions) {
+    if (!service->submit(request)) {
+      throw std::logic_error("Snapshot: logged submission rejected on replay");
+    }
+  }
+  service->advance_to(snapshot.time);
+  return service;
+}
+
+std::string WhatIf::describe() const {
+  std::ostringstream out;
+  out << label << ":";
+  if (add_nodes > 0) {
+    out << " +" << add_nodes << " nodes@member" << member;
+    if (!partition.empty()) out << "/" << partition;
+  }
+  if (placement) out << " placement=" << fed::to_string(*placement);
+  if (shrink_boost) out << " shrink_boost=" << (*shrink_boost ? "on" : "off");
+  return out.str();
+}
+
+namespace {
+
+ForkRun run_branch(const Snapshot& snap, const WhatIf* whatif, double horizon,
+                   const std::string& label) {
+  const double start = util::wall_seconds();
+  std::unique_ptr<Service> service = restore(snap);
+  if (whatif != nullptr) {
+    if (whatif->add_nodes > 0) {
+      service->add_nodes(whatif->add_nodes, whatif->member, whatif->partition);
+    }
+    if (whatif->placement) service->set_placement(*whatif->placement);
+    if (whatif->shrink_boost) service->set_shrink_boost(*whatif->shrink_boost);
+  }
+  service->advance_to(horizon);
+  ForkRun run;
+  run.label = label;
+  run.last_sample = service->sample_records().empty()
+                        ? MetricsSample{}
+                        : service->sample_records().back();
+  run.metrics = service->metrics();
+  run.wall_seconds = util::wall_seconds() - start;
+  return run;
+}
+
+}  // namespace
+
+std::string ForkReport::to_json() const {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"svc\":\"fork\",\"from\":" << from << ",\"horizon\":" << horizon
+      << ",\"baseline_wait_p99\":" << baseline.last_sample.wait_p99
+      << ",\"variant_wait_p99\":" << variant.last_sample.wait_p99
+      << ",\"delta_wait_p99\":" << delta_wait_p99()
+      << ",\"baseline_utilization\":" << baseline.last_sample.utilization
+      << ",\"variant_utilization\":" << variant.last_sample.utilization
+      << ",\"delta_utilization\":" << delta_utilization()
+      << ",\"baseline_completed\":" << baseline.last_sample.completed_total
+      << ",\"variant_completed\":" << variant.last_sample.completed_total
+      << ",\"delta_completed\":" << delta_completed()
+      << ",\"baseline_wall_seconds\":" << baseline.wall_seconds
+      << ",\"variant_wall_seconds\":" << variant.wall_seconds << "}";
+  return out.str();
+}
+
+ForkReport fork_and_run(const Snapshot& snapshot, const WhatIf& whatif,
+                        double horizon) {
+  if (horizon <= snapshot.time) {
+    throw std::invalid_argument("fork_and_run: horizon not past the snapshot");
+  }
+  ForkReport report;
+  report.from = snapshot.time;
+  report.horizon = horizon;
+  report.baseline = run_branch(snapshot, nullptr, horizon, "baseline");
+  report.variant =
+      run_branch(snapshot, &whatif, horizon,
+                 whatif.label.empty() ? "variant" : whatif.label);
+  return report;
+}
+
+}  // namespace dmr::svc

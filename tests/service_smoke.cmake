@@ -1,0 +1,66 @@
+# ctest smoke for the resident service: push a small stream through the
+# submission ring via service_bench's smoke mode and sanity-check the
+# live sample feed — every line one JSON object, sample times strictly
+# monotone in simulated time, and all three bench phases present.
+# Invoked as
+#   cmake -DSERVICE_BENCH=<service_bench binary> -P service_smoke.cmake
+
+execute_process(COMMAND ${SERVICE_BENCH} smoke
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "service_bench smoke exited with ${rc}\nstderr:\n${err}")
+endif()
+
+# Every non-empty stdout line must be one JSON object; sample lines
+# ("svc":"sample") must carry strictly increasing simulated times.
+string(REPLACE "\n" ";" lines "${out}")
+set(sample_lines 0)
+set(last_time -1)
+foreach(line IN LISTS lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  if(NOT line MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR "not a JSON line: ${line}")
+  endif()
+  if(line MATCHES "\"svc\":\"sample\"")
+    math(EXPR sample_lines "${sample_lines} + 1")
+    # Integer part of the simulated time (sample cadence is >= 1 s, so
+    # strict monotonicity survives the truncation).
+    if(NOT line MATCHES "\"t\":([0-9]+)")
+      message(FATAL_ERROR "sample line without a time field: ${line}")
+    endif()
+    set(time "${CMAKE_MATCH_1}")
+    if(NOT time GREATER last_time)
+      message(FATAL_ERROR "sample times not monotone: ${last_time} then "
+                          "${time} in:\n${out}")
+    endif()
+    set(last_time "${time}")
+    foreach(field "\"window\":" "\"utilization\":" "\"queue_depth\":"
+            "\"wait_p99\":" "\"submitted_total\":")
+      if(NOT line MATCHES "${field}")
+        message(FATAL_ERROR "sample line missing ${field}: ${line}")
+      endif()
+    endforeach()
+    if(line MATCHES "nan|inf")
+      message(FATAL_ERROR "non-finite value in sample line: ${line}")
+    endif()
+  endif()
+endforeach()
+
+if(sample_lines LESS 3)
+  message(FATAL_ERROR "expected >= 3 sample lines, got ${sample_lines}:\n"
+                      "${out}")
+endif()
+
+# The three bench phases plus the summary rode along.
+foreach(field "\"phase\":\"throughput\"" "\"phase\":\"snapshot\""
+        "\"phase\":\"fork\"" "\"summary\":true" "\"jobs_per_second\":")
+  if(NOT out MATCHES "${field}")
+    message(FATAL_ERROR "missing ${field} in service_bench output:\n${out}")
+  endif()
+endforeach()
+
+message(STATUS "service_smoke: ${sample_lines} sample lines OK")

@@ -3,6 +3,10 @@
 // heterogeneous mixes and determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "apps/models.hpp"
 #include "drv/workload_driver.hpp"
 #include "wl/feitelson.hpp"
@@ -253,6 +257,49 @@ TEST(Driver, UtilizationWindowStartsAtFirstArrival) {
   const WorkloadMetrics metrics = driver.run();
   EXPECT_NEAR(metrics.makespan, 140.0, 1e-9);
   EXPECT_NEAR(metrics.utilization, 0.5, 1e-9);
+}
+
+TEST(Driver, EmptyWorkloadMetricsAreZeroNotNaN) {
+  // An empty run (and a mid-run probe before anything arrived) must
+  // report zeroed metrics, never divide by an empty window.
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  const WorkloadMetrics probed = driver.collect_metrics();
+  EXPECT_EQ(probed.jobs, 0);
+  EXPECT_EQ(probed.utilization, 0.0);
+  EXPECT_FALSE(std::isnan(probed.utilization));
+  const WorkloadMetrics metrics = driver.run();
+  EXPECT_EQ(metrics.jobs, 0);
+  EXPECT_EQ(metrics.makespan, 0.0);
+  EXPECT_EQ(metrics.utilization, 0.0);
+  EXPECT_FALSE(std::isnan(metrics.utilization));
+  EXPECT_FALSE(std::isnan(metrics.wait.mean));
+}
+
+TEST(Driver, StaleSubmissionIsRejectedNotReordered) {
+  // Once the simulated clock passed an instant, a submission claiming to
+  // arrive back then is an error — the driver refuses instead of
+  // silently reordering history.
+  sim::Engine engine;
+  WorkloadDriver driver(engine, small_config(8));
+  driver.add(fs_plan(0.0, 4, 40.0, 2, /*flexible=*/false));
+  driver.run();
+  EXPECT_GT(engine.now(), 0.0);
+  try {
+    driver.submit_at(fs_plan(0.0, 2, 20.0, 2, /*flexible=*/false));
+    FAIL() << "stale submission accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("precedes the simulated clock"),
+              std::string::npos);
+  }
+  // add() enforces the same contract.
+  EXPECT_THROW(driver.add(fs_plan(0.0, 2, 20.0, 2, /*flexible=*/false)),
+               std::invalid_argument);
+  // A future arrival is still welcome: the driver keeps running.
+  driver.submit_at(fs_plan(engine.now() + 10.0, 2, 20.0, 2,
+                           /*flexible=*/false));
+  engine.run();
+  EXPECT_EQ(driver.completed(), 2);
 }
 
 DriverConfig heterogeneous_config() {

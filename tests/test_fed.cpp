@@ -10,6 +10,7 @@
 #include "apps/models.hpp"
 #include "drv/workload_driver.hpp"
 #include "fed/federation.hpp"
+#include "fed/member_mix.hpp"
 
 namespace {
 
@@ -316,6 +317,99 @@ TEST(FederationDriver, PlacementPoliciesDivergeOnTheSameTrace) {
                         rr.makespan != ll.makespan ||
                         ll.makespan != bf.makespan;
   EXPECT_TRUE(diverged);
+}
+
+// --- Member-mix generator --------------------------------------------------
+
+TEST(MemberMix, ParsesHomogeneousAndHeterogeneousGroups) {
+  const fed::MemberMix mix =
+      fed::parse_member_mix("16x64,8x128:speed=0.6,2xfast=16@1.25+slow=8");
+  ASSERT_EQ(mix.groups.size(), 3u);
+  EXPECT_EQ(mix.total(), 26);
+  EXPECT_EQ(mix.groups[0].count, 16);
+  EXPECT_EQ(mix.groups[0].nodes, 64);
+  EXPECT_EQ(mix.groups[0].speed, 1.0);
+  EXPECT_EQ(mix.groups[0].name, "m0");  // default group name
+  EXPECT_EQ(mix.groups[1].count, 8);
+  EXPECT_EQ(mix.groups[1].nodes, 128);
+  EXPECT_EQ(mix.groups[1].speed, 0.6);
+  ASSERT_EQ(mix.groups[2].partitions.size(), 2u);
+  EXPECT_EQ(mix.groups[2].partitions[0].name, "fast");
+  EXPECT_EQ(mix.groups[2].partitions[0].nodes, 16);
+  EXPECT_EQ(mix.groups[2].partitions[0].speed, 1.25);
+  EXPECT_EQ(mix.groups[2].partitions[1].speed, 1.0);  // default
+}
+
+TEST(MemberMix, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "x64", "4x", "4x0", "ax64", "4x64:speed=0", "4x64:speed=-1",
+        "4x64:name=", "4x64:name=bad name", "4x64:bogus=1", "4xfast=",
+        "4xfast=8@", "4xfast=8@0", "4xp", "1x8,1x8:name=m0",
+        "1x8:name=a,1x16:name=a"}) {
+    EXPECT_THROW(fed::parse_member_mix(bad), std::invalid_argument)
+        << "spec: '" << bad << "'";
+  }
+}
+
+TEST(MemberMix, ErrorsNameTheGroupAndToken) {
+  try {
+    fed::parse_member_mix("4x64,8xbad@");
+    FAIL() << "accepted malformed spec";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("group 1"), std::string::npos);
+    EXPECT_NE(what.find("8xbad@"), std::string::npos);
+  }
+}
+
+TEST(MemberMix, DefaultMixReproducesTheHistoricalCycle) {
+  // The sweep's old hard-coded cycle: alpha (24 homogeneous), beta
+  // (fast 16@1.25 + slow 8@0.6), gamma (g 12@0.8), then alpha2, beta2...
+  const fed::MemberMix mix = fed::parse_member_mix(fed::kDefaultMemberMix);
+  EXPECT_EQ(mix.total(), 3);
+  const fed::ClusterSpec alpha = fed::member_spec(mix, 0);
+  EXPECT_EQ(alpha.name, "alpha");
+  EXPECT_EQ(alpha.rms.nodes, 24);
+  EXPECT_TRUE(alpha.rms.partitions.empty());
+  const fed::ClusterSpec beta = fed::member_spec(mix, 1);
+  EXPECT_EQ(beta.name, "beta");
+  ASSERT_EQ(beta.rms.partitions.size(), 2u);
+  EXPECT_EQ(beta.rms.partitions[0].name, "fast");
+  EXPECT_EQ(beta.rms.partitions[0].nodes, 16);
+  EXPECT_EQ(beta.rms.partitions[0].speed, 1.25);
+  EXPECT_EQ(beta.rms.partitions[1].name, "slow");
+  const fed::ClusterSpec gamma = fed::member_spec(mix, 2);
+  EXPECT_EQ(gamma.name, "gamma");
+  ASSERT_EQ(gamma.rms.partitions.size(), 1u);
+  EXPECT_EQ(gamma.rms.partitions[0].name, "g");
+  EXPECT_EQ(gamma.rms.partitions[0].nodes, 12);
+  EXPECT_EQ(gamma.rms.partitions[0].speed, 0.8);
+  // Cycling past the mix numbers the names the way the sweep always did.
+  EXPECT_EQ(fed::member_spec(mix, 3).name, "alpha2");
+  EXPECT_EQ(fed::member_spec(mix, 4).name, "beta2");
+  EXPECT_EQ(fed::member_spec(mix, 5).name, "gamma2");
+  EXPECT_EQ(fed::member_spec(mix, 7).name, "beta3");
+}
+
+TEST(MemberMix, MultiCountGroupsNumberEveryMember) {
+  const fed::MemberMix mix = fed::parse_member_mix("2x8:name=thin,1x32");
+  EXPECT_EQ(fed::member_spec(mix, 0).name, "thin1");
+  EXPECT_EQ(fed::member_spec(mix, 1).name, "thin2");
+  EXPECT_EQ(fed::member_spec(mix, 2).name, "m1");
+  EXPECT_EQ(fed::member_spec(mix, 3).name, "thin3");
+  EXPECT_EQ(fed::member_spec(mix, 5).name, "m12");
+  // A slow homogeneous group materializes as a single speed partition.
+  const fed::MemberMix slow = fed::parse_member_mix("1x128:speed=0.6");
+  const fed::ClusterSpec spec = fed::member_spec(slow, 0);
+  ASSERT_EQ(spec.rms.partitions.size(), 1u);
+  EXPECT_EQ(spec.rms.partitions[0].nodes, 128);
+  EXPECT_EQ(spec.rms.partitions[0].speed, 0.6);
+  // Member specs feed a real federation.
+  fed::FederationConfig config;
+  config.clusters = {fed::member_spec(mix, 0), fed::member_spec(mix, 1),
+                     fed::member_spec(mix, 2)};
+  fed::Federation federation(config);
+  EXPECT_EQ(federation.total_nodes(), 48);
 }
 
 }  // namespace

@@ -1,0 +1,481 @@
+// Resident-service tests: the SPSC submission ring (FIFO order,
+// QueueFull backpressure, cross-thread stress — the TSan target), the
+// windowed histogram quantiles and expiry, streaming end-to-end runs,
+// the snapshot round trip, the replay-determinism property
+// (run(T1) == restore(snapshot(T0)).run(T1) field for field) and
+// what-if fork divergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dmr/service.hpp"
+#include "fed/member_mix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dmr;
+
+svc::JobRequest request_of(long long tag, double arrival, int nodes = 4,
+                           double runtime = 200.0) {
+  svc::JobRequest request;
+  request.tag = tag;
+  request.arrival = arrival;
+  request.nodes = nodes;
+  request.min_nodes = 1;
+  request.max_nodes = nodes * 2;
+  request.runtime = runtime;
+  request.steps = 5;
+  return request;
+}
+
+// --- SubmitQueue -----------------------------------------------------------
+
+TEST(SubmitQueue, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(svc::SubmitQueue(1).capacity(), 2u);
+  EXPECT_EQ(svc::SubmitQueue(8).capacity(), 8u);
+  EXPECT_EQ(svc::SubmitQueue(9).capacity(), 16u);
+}
+
+TEST(SubmitQueue, FifoOrder) {
+  svc::SubmitQueue queue(8);
+  for (long long tag = 0; tag < 5; ++tag) {
+    EXPECT_EQ(queue.push(request_of(tag, double(tag))), svc::PushResult::Ok);
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  svc::JobRequest out;
+  for (long long tag = 0; tag < 5; ++tag) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.tag, tag);
+  }
+  EXPECT_FALSE(queue.pop(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SubmitQueue, QueueFullBackpressureAndCounters) {
+  svc::SubmitQueue queue(4);
+  for (long long tag = 0; tag < 4; ++tag) {
+    EXPECT_EQ(queue.push(request_of(tag, 0.0)), svc::PushResult::Ok);
+  }
+  // Full: the push is rejected and counted, nothing is dropped silently.
+  EXPECT_EQ(queue.push(request_of(99, 0.0)), svc::PushResult::QueueFull);
+  EXPECT_EQ(queue.push(request_of(99, 0.0)), svc::PushResult::QueueFull);
+  EXPECT_EQ(queue.pushed(), 4u);
+  EXPECT_EQ(queue.rejected_full(), 2u);
+  // Draining one slot re-arms it for exactly one more push.
+  svc::JobRequest out;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.tag, 0);
+  EXPECT_EQ(queue.push(request_of(4, 0.0)), svc::PushResult::Ok);
+  EXPECT_EQ(queue.push(request_of(5, 0.0)), svc::PushResult::QueueFull);
+  // FIFO across the wrap.
+  for (long long tag = 1; tag <= 4; ++tag) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.tag, tag);
+  }
+  EXPECT_EQ(queue.popped(), 5u);
+}
+
+TEST(SubmitQueue, CrossThreadStressKeepsOrderAndLosesNothing) {
+  // One producer thread, one consumer thread, a ring far smaller than
+  // the transfer count so every slot wraps many times.  Run under TSan
+  // (the dedicated CI job) this is the memory-ordering proof; under the
+  // normal jobs it is a liveness and FIFO check.
+  constexpr long long kCount = 20000;
+  svc::SubmitQueue queue(16);
+  std::vector<long long> seen;
+  seen.reserve(kCount);
+  std::thread consumer([&queue, &seen] {
+    svc::JobRequest out;
+    while (seen.size() < kCount) {
+      if (queue.pop(out)) {
+        seen.push_back(out.tag);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  long long rejected = 0;
+  for (long long tag = 0; tag < kCount;) {
+    if (queue.push(request_of(tag, double(tag))) == svc::PushResult::Ok) {
+      ++tag;
+    } else {
+      ++rejected;
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  ASSERT_EQ(seen.size(), std::size_t(kCount));
+  for (long long tag = 0; tag < kCount; ++tag) {
+    ASSERT_EQ(seen[std::size_t(tag)], tag);
+  }
+  EXPECT_EQ(queue.pushed(), std::uint64_t(kCount));
+  EXPECT_EQ(queue.popped(), std::uint64_t(kCount));
+  EXPECT_EQ(queue.rejected_full(), std::uint64_t(rejected));
+}
+
+// --- WindowedHistogram / MetricsWindow -------------------------------------
+
+TEST(WindowedHistogram, QuantilesWithinBucketResolution) {
+  svc::WindowedHistogram hist(4);
+  for (int i = 1; i <= 1000; ++i) hist.add(double(i));  // 1..1000 s
+  // One log-bucket is a factor of 10^(1/16) ~ 1.15; allow two.
+  EXPECT_NEAR(hist.quantile(0.5), 500.0, 500.0 * 0.35);
+  EXPECT_NEAR(hist.quantile(0.99), 990.0, 990.0 * 0.35);
+  EXPECT_GE(hist.quantile(0.99), hist.quantile(0.5));
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_NEAR(hist.mean(), 500.5, 1e-6);
+}
+
+TEST(WindowedHistogram, EmptyWindowIsZeroNotNaN) {
+  svc::WindowedHistogram hist(3);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_EQ(hist.quantile(0.99), 0.0);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_FALSE(std::isnan(hist.quantile(0.95)));
+}
+
+TEST(WindowedHistogram, RotationExpiresOldObservations) {
+  svc::WindowedHistogram hist(2);  // window = 2 intervals
+  hist.add(100.0);
+  hist.rotate();
+  EXPECT_EQ(hist.count(), 1u);  // still inside the window
+  hist.add(1.0);
+  hist.rotate();
+  // The 100 s observation just retired; only the 1 s one remains.
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_LT(hist.quantile(0.99), 2.0);
+  hist.rotate();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+}
+
+TEST(MetricsWindow, RejectsPeriodWiderThanWindow) {
+  EXPECT_THROW(svc::MetricsWindow(10.0, 20.0), std::invalid_argument);
+  EXPECT_THROW(svc::MetricsWindow(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(MetricsWindow, EmptySampleIsAllZeros) {
+  svc::MetricsWindow window(300.0, 30.0);
+  svc::MetricsSample sample;
+  window.fill(sample);
+  EXPECT_EQ(sample.completed_in_window, 0);
+  EXPECT_EQ(sample.wait_p99, 0.0);
+  EXPECT_EQ(sample.reconfigs_per_second, 0.0);
+  EXPECT_FALSE(std::isnan(sample.wait_mean));
+  EXPECT_FALSE(std::isnan(sample.response_p95));
+}
+
+// --- Service: streaming end-to-end -----------------------------------------
+
+svc::ServiceConfig small_service(int nodes = 16) {
+  svc::ServiceConfig config;
+  config.driver.rms.nodes = nodes;
+  config.sample_period = 50.0;
+  config.window = 200.0;
+  return config;
+}
+
+TEST(Service, StreamsJobsThroughTheRingToCompletion) {
+  svc::Service service(small_service());
+  for (long long tag = 0; tag < 20; ++tag) {
+    ASSERT_EQ(service.queue().push(request_of(tag, 30.0 * double(tag))),
+              svc::PushResult::Ok);
+  }
+  ASSERT_TRUE(service.drain());
+  EXPECT_EQ(service.accepted(), 20);
+  EXPECT_EQ(service.completed(), 20);
+  EXPECT_TRUE(service.all_done());
+  const drv::WorkloadMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.jobs, 20);
+  EXPECT_GT(metrics.makespan, 0.0);
+  EXPECT_GT(metrics.utilization, 0.0);
+  EXPECT_LE(metrics.utilization, 1.0);
+}
+
+TEST(Service, SampleTimesAreMonotoneAndLinesMirrorRecords) {
+  svc::Service service(small_service());
+  for (long long tag = 0; tag < 10; ++tag) {
+    service.submit(request_of(tag, 40.0 * double(tag)));
+  }
+  service.drain();
+  const auto& samples = service.sample_records();
+  ASSERT_GT(samples.size(), 2u);
+  ASSERT_EQ(service.sample_lines().size(), samples.size());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].time, samples[i - 1].time);
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(service.sample_lines()[i], samples[i].to_json());
+    EXPECT_EQ(samples[i].to_json().front(), '{');
+    EXPECT_EQ(samples[i].to_json().back(), '}');
+    EXPECT_FALSE(std::isnan(samples[i].utilization));
+    EXPECT_GE(samples[i].utilization, 0.0);
+    EXPECT_LE(samples[i].utilization, 1.0 + 1e-9);
+  }
+  // Completions happened, so some window saw them.
+  EXPECT_EQ(samples.back().completed_total, 10);
+}
+
+TEST(Service, RejectsStaleArrivalsAndCountsThem) {
+  svc::Service service(small_service());
+  service.submit(request_of(0, 10.0));
+  service.advance_to(100.0);
+  EXPECT_FALSE(service.submit(request_of(1, 50.0)));  // in the past
+  EXPECT_TRUE(service.submit(request_of(2, 100.0)));  // now is fine
+  EXPECT_EQ(service.rejected_stale(), 1);
+  EXPECT_EQ(service.accepted(), 2);
+  service.drain();
+  EXPECT_EQ(service.completed(), 2);
+}
+
+TEST(Service, AdvanceIntoThePastThrows) {
+  svc::Service service(small_service());
+  service.advance_to(100.0);
+  EXPECT_THROW(service.advance_to(50.0), std::invalid_argument);
+}
+
+// --- Snapshot / restore ----------------------------------------------------
+
+TEST(Snapshot, SerializeDeserializeRoundTrip) {
+  svc::Service service(small_service());
+  util::Rng rng(3);
+  for (long long tag = 0; tag < 12; ++tag) {
+    svc::JobRequest request = request_of(tag, 25.0 * double(tag));
+    request.flexible = rng.bernoulli(0.5);
+    request.moldable = rng.bernoulli(0.3);
+    service.submit(request);
+  }
+  service.advance_to(150.0);
+  const svc::Snapshot before = svc::snapshot(service);
+  const std::string wire = before.serialize();
+  const svc::Snapshot after =
+      svc::Snapshot::deserialize(wire, small_service());
+  EXPECT_EQ(after.time, before.time);
+  ASSERT_EQ(after.submissions.size(), before.submissions.size());
+  for (std::size_t i = 0; i < after.submissions.size(); ++i) {
+    const svc::JobRequest& a = after.submissions[i];
+    const svc::JobRequest& b = before.submissions[i];
+    EXPECT_EQ(a.tag, b.tag);
+    EXPECT_EQ(a.arrival, b.arrival);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.min_nodes, b.min_nodes);
+    EXPECT_EQ(a.max_nodes, b.max_nodes);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.flexible, b.flexible);
+    EXPECT_EQ(a.moldable, b.moldable);
+    EXPECT_EQ(a.state_bytes, b.state_bytes);
+    EXPECT_EQ(a.partition, b.partition);
+  }
+}
+
+TEST(Snapshot, DeserializeRejectsGarbage) {
+  EXPECT_THROW(svc::Snapshot::deserialize("not a snapshot", small_service()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      svc::Snapshot::deserialize("dmrsvc-snapshot v1 time=5 n=3\n1 0",
+                                 small_service()),
+      std::invalid_argument);
+}
+
+// --- Determinism property: run(T1) == restore(snapshot(T0)).run(T1) --------
+
+svc::ServiceConfig property_config(std::uint64_t seed, int clusters) {
+  svc::ServiceConfig config;
+  if (clusters > 1) {
+    const fed::MemberMix mix = fed::parse_member_mix(fed::kDefaultMemberMix);
+    for (int c = 0; c < clusters; ++c) {
+      config.driver.federation.clusters.push_back(fed::member_spec(mix, c));
+    }
+    config.driver.federation.placement = fed::Placement::LeastLoaded;
+  } else {
+    config.driver.rms.nodes = 20;
+  }
+  config.sample_period = 40.0;
+  config.window = 160.0;
+  // Vary the cadence a little across seeds so the property is not an
+  // artifact of one sampling grid.
+  config.sample_period += double(seed % 3) * 10.0;
+  config.window = 4 * config.sample_period;
+  return config;
+}
+
+std::vector<svc::JobRequest> property_stream(std::uint64_t seed, int width) {
+  util::Rng rng(seed);
+  std::vector<svc::JobRequest> stream;
+  double arrival = 0.0;
+  for (long long tag = 0; tag < 40; ++tag) {
+    svc::JobRequest request;
+    request.tag = tag;
+    request.arrival = arrival;
+    request.nodes = static_cast<int>(rng.uniform_int(2, width));
+    request.min_nodes = std::max(1, request.nodes / 4);
+    request.max_nodes = request.nodes * 2;
+    request.runtime = rng.uniform(100.0, 400.0);
+    request.steps = 5;
+    request.flexible = rng.bernoulli(0.7);
+    stream.push_back(request);
+    arrival += rng.exponential_mean(30.0);
+  }
+  return stream;
+}
+
+void expect_metrics_equal(const drv::WorkloadMetrics& a,
+                          const drv::WorkloadMetrics& b) {
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.wait.mean, b.wait.mean);
+  EXPECT_EQ(a.wait.max, b.wait.max);
+  EXPECT_EQ(a.completion.mean, b.completion.mean);
+  EXPECT_EQ(a.execution.mean, b.execution.mean);
+  EXPECT_EQ(a.expands, b.expands);
+  EXPECT_EQ(a.shrinks, b.shrinks);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.aborted_expands, b.aborted_expands);
+  EXPECT_EQ(a.bytes_redistributed, b.bytes_redistributed);
+  EXPECT_EQ(a.redistribution_seconds, b.redistribution_seconds);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].name, b.clusters[c].name);
+    EXPECT_EQ(a.clusters[c].jobs, b.clusters[c].jobs);
+    EXPECT_EQ(a.clusters[c].utilization, b.clusters[c].utilization);
+    EXPECT_EQ(a.clusters[c].wait.mean, b.clusters[c].wait.mean);
+  }
+}
+
+void expect_samples_equal(const svc::MetricsSample& a,
+                          const svc::MetricsSample& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_EQ(a.completed_total, b.completed_total);
+  EXPECT_EQ(a.completed_in_window, b.completed_in_window);
+  EXPECT_EQ(a.reconfigs_in_window, b.reconfigs_in_window);
+  EXPECT_EQ(a.queue_depth, b.queue_depth);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.wait_mean, b.wait_mean);
+  EXPECT_EQ(a.wait_p50, b.wait_p50);
+  EXPECT_EQ(a.wait_p95, b.wait_p95);
+  EXPECT_EQ(a.wait_p99, b.wait_p99);
+  EXPECT_EQ(a.response_p50, b.response_p50);
+  EXPECT_EQ(a.response_p95, b.response_p95);
+  EXPECT_EQ(a.response_p99, b.response_p99);
+}
+
+/// The replay-determinism property: a service run straight to T1 and a
+/// service restored from its T0 snapshot then run to T1 agree field for
+/// field — batch metrics, completion count, and every sample taken
+/// after T0.
+void check_replay_property(std::uint64_t seed, int clusters) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " clusters=" + std::to_string(clusters));
+  const int width = clusters > 1 ? 12 : 16;
+  const std::vector<svc::JobRequest> stream = property_stream(seed, width);
+
+  svc::Service live(property_config(seed, clusters));
+  for (const svc::JobRequest& request : stream) {
+    ASSERT_TRUE(live.submit(request));
+  }
+  const double t0 = stream[stream.size() / 2].arrival;
+  live.advance_to(t0);
+  const svc::Snapshot snap = svc::snapshot(live);
+  ASSERT_EQ(snap.time, t0);
+
+  // Branch A: the live service continues to T1.
+  const double t1 = t0 + 2000.0;
+  live.advance_to(t1);
+
+  // Branch B: a fresh service restored from the snapshot runs to T1.
+  std::unique_ptr<svc::Service> replayed = svc::restore(snap);
+  ASSERT_EQ(replayed->now(), t0);
+  replayed->advance_to(t1);
+
+  EXPECT_EQ(replayed->accepted(), live.accepted());
+  EXPECT_EQ(replayed->completed(), live.completed());
+  expect_metrics_equal(replayed->metrics(), live.metrics());
+  // Every sample after the snapshot instant must match.  (Pre-snapshot
+  // samples exist only on the live branch's timeline before T0 was
+  // captured — both branches took them identically by construction.)
+  const auto& live_samples = live.sample_records();
+  const auto& replay_samples = replayed->sample_records();
+  ASSERT_EQ(replay_samples.size(), live_samples.size());
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < live_samples.size(); ++i) {
+    expect_samples_equal(replay_samples[i], live_samples[i]);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST(SnapshotProperty, ReplayMatchesLiveSingleCluster) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    check_replay_property(seed, 1);
+  }
+}
+
+TEST(SnapshotProperty, ReplayMatchesLiveFederation) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    check_replay_property(seed, 3);
+  }
+}
+
+// --- What-if forks ---------------------------------------------------------
+
+TEST(Fork, AddingNodesMovesTheWindowedMetrics) {
+  // Oversubscribe 8 nodes so a queue builds, then ask "what if the
+  // cluster doubled?".  The variant must complete at least as many jobs
+  // and its windowed p99 wait must improve (strictly, given the heavy
+  // backlog).
+  svc::ServiceConfig config;
+  config.driver.rms.nodes = 8;
+  config.sample_period = 100.0;
+  config.window = 400.0;
+  svc::Service service(config);
+  util::Rng rng(17);
+  double arrival = 0.0;
+  for (long long tag = 0; tag < 30; ++tag) {
+    svc::JobRequest request = request_of(tag, arrival, 4, 300.0);
+    request.flexible = false;
+    service.submit(request);
+    arrival += rng.exponential_mean(20.0);
+  }
+  service.advance_to(600.0);
+  const svc::Snapshot snap = svc::snapshot(service);
+
+  svc::WhatIf whatif;
+  whatif.label = "+8 nodes";
+  whatif.add_nodes = 8;
+  const svc::ForkReport report = svc::fork_and_run(snap, whatif, 4000.0);
+  EXPECT_GE(report.delta_completed(), 0);
+  EXPECT_LT(report.delta_wait_p99(), 0.0);
+  EXPECT_NE(report.to_json().find("\"svc\":\"fork\""), std::string::npos);
+  // The live instance was not disturbed by either branch.
+  EXPECT_EQ(service.now(), snap.time);
+}
+
+TEST(Fork, HorizonMustLieBeyondTheSnapshot) {
+  svc::Service service(small_service());
+  service.submit(request_of(0, 0.0));
+  service.advance_to(100.0);
+  const svc::Snapshot snap = svc::snapshot(service);
+  svc::WhatIf whatif;
+  EXPECT_THROW(svc::fork_and_run(snap, whatif, 50.0), std::invalid_argument);
+}
+
+TEST(Fork, WhatIfDescribeNamesTheMutation) {
+  svc::WhatIf whatif;
+  whatif.label = "grow";
+  whatif.add_nodes = 64;
+  whatif.placement = fed::Placement::QueueDepth;
+  whatif.shrink_boost = false;
+  const std::string text = whatif.describe();
+  EXPECT_NE(text.find("+64 nodes"), std::string::npos);
+  EXPECT_NE(text.find("shrink_boost=off"), std::string::npos);
+}
+
+}  // namespace
