@@ -44,6 +44,7 @@ drv::DriverConfig fs_driver_config(const FsWorkloadOptions& options) {
   config.asynchronous = options.asynchronous;
   config.sched_period_override = options.sched_period;
   config.check_overhead_seconds = options.check_overhead;
+  config.hooks = options.hooks;
   return config;
 }
 
@@ -91,6 +92,7 @@ drv::DriverConfig realistic_driver_config(
   config.rms.shrink_priority_boost = options.shrink_priority_boost;
   config.rms.scheduler.backfill = options.backfill;
   config.cost = options.cost;
+  config.hooks = options.hooks;
   return config;
 }
 
@@ -123,6 +125,37 @@ drv::WorkloadMetrics run_realistic_workload(
     driver.add(std::move(plan));
   }
   return driver.run();
+}
+
+std::string realistic_outcome_digest(const RealisticWorkloadOptions& options,
+                                     drv::WorkloadMetrics* metrics) {
+  sim::Engine engine;
+  drv::WorkloadDriver driver(engine, realistic_driver_config(options));
+  for (auto& plan : build_realistic_plans(options)) {
+    driver.add(std::move(plan));
+  }
+  const drv::WorkloadMetrics run_metrics = driver.run();
+  if (metrics != nullptr) *metrics = run_metrics;
+  // Full-precision per-job lifecycle plus the resize tallies: any
+  // divergence in scheduling, negotiation or redistribution cost shows
+  // up in at least one of these digits.
+  std::string digest;
+  const fed::Federation& federation = driver.federation();
+  char line[160];
+  for (int c = 0; c < federation.cluster_count(); ++c) {
+    for (const rms::Job* job : federation.manager(c).jobs()) {
+      std::snprintf(line, sizeof(line), "%llu:%.17g:%.17g:%.17g\n",
+                    static_cast<unsigned long long>(job->id),
+                    job->submit_time, job->start_time, job->end_time);
+      digest += line;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "makespan=%.17g expands=%lld shrinks=%lld bytes=%zu\n",
+                run_metrics.makespan, run_metrics.expands,
+                run_metrics.shrinks, run_metrics.bytes_redistributed);
+  digest += line;
+  return digest;
 }
 
 std::string fs_timeline_chart(const FsWorkloadOptions& options,

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dmr/observe.hpp"
 #include "dmr/simulation.hpp"
 
 namespace dmr::bench {
@@ -41,6 +42,9 @@ struct FsWorkloadOptions {
   /// Runtime<->RMS negotiation cost per non-inhibited check.
   double check_overhead = 0.05;
   std::uint64_t seed = 2017;
+  /// Observability sinks threaded into the driver (trace recorder and/or
+  /// profiler); default-empty hooks keep the run on the zero-cost path.
+  obs::Hooks hooks;
 };
 
 /// Build and run one FS workload; returns the workload metrics.
@@ -59,10 +63,23 @@ struct RealisticWorkloadOptions {
   bool backfill = true;
   /// Moldable submission (the paper's future-work extension).
   bool moldable = false;
+  /// Observability sinks threaded into the driver (trace recorder and/or
+  /// profiler); default-empty hooks keep the run on the zero-cost path.
+  obs::Hooks hooks;
 };
 
 drv::WorkloadMetrics run_realistic_workload(
     const RealisticWorkloadOptions& options);
+
+/// Run the realistic workload and render every job's lifecycle
+/// (id:submit:start:end, 17 significant digits) plus the headline
+/// counters into one string — byte-identical across runs iff the
+/// simulated outcomes are.  engine_bench compares digests with tracing
+/// attached vs detached to prove observability never perturbs the
+/// simulation.  When `metrics` is non-null the run's metrics are stored
+/// there too.
+std::string realistic_outcome_digest(const RealisticWorkloadOptions& options,
+                                     drv::WorkloadMetrics* metrics = nullptr);
 
 /// Run an FS workload and render the paper-style evolution chart
 /// (allocated nodes / running jobs / completed jobs over time).

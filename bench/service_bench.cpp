@@ -13,8 +13,11 @@
 //  - fork: svc::fork_and_run baseline vs "+64 nodes" from that snapshot;
 //    reports both branch wall times and the windowed p99-wait delta.
 //
-// Usage:  service_bench [jobs=N] [smoke]
+// Usage:  service_bench [jobs=N] [--trace FILE] [smoke]
 //   jobs=N  requests pushed through the ring (default 20000)
+//   --trace FILE  record the throughput phase's timeline (job spans,
+//           schedule/reconfig phases, ring-depth/utilization counters)
+//           to FILE and self-check it with the strict validator
 //   smoke   CI mode: a small stream with the live sample feed printed
 //           (the service_smoke ctest checks those JSON lines are
 //           well-formed and monotone in simulated time)
@@ -23,6 +26,7 @@
 #include <cstring>
 #include <string>
 
+#include "dmr/observe.hpp"
 #include "dmr/service.hpp"
 #include "dmr/util.hpp"
 
@@ -96,21 +100,32 @@ svc::ServiceConfig make_config() {
 int main(int argc, char** argv) {
   int jobs = 20000;
   bool smoke = false;
+  std::string trace_file;
   for (int i = 1; i < argc; ++i) {
     unsigned long long value = 0;
     if (std::strcmp(argv[i], "smoke") == 0) {
       smoke = true;
     } else if (std::sscanf(argv[i], "jobs=%llu", &value) == 1 && value > 0) {
       jobs = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[i + 1];
+      ++i;
     } else {
-      std::fprintf(stderr, "usage: %s [jobs=N] [smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [jobs=N] [--trace FILE] [smoke]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (smoke) jobs = 300;
 
   // --- throughput: the full ring -> driver -> DES ingest path ------------
+  obs::TraceRecorder trace;
+  obs::Profiler profiler;
   svc::ServiceConfig config = make_config();
+  if (!trace_file.empty()) {
+    config.driver.hooks.trace = &trace;
+    config.driver.hooks.profiler = &profiler;
+  }
   svc::Service service(config);
   if (smoke) {
     // The live feed the service_smoke ctest validates (well-formed
@@ -133,6 +148,19 @@ int main(int argc, char** argv) {
       stream.submitted, service.completed(), stream.backpressured,
       stream.sim_seconds, service.sample_records().size(),
       stream.wall_seconds, jobs_per_second);
+  if (!trace_file.empty()) {
+    trace.write_file(trace_file);
+    const obs::TraceValidation validation =
+        obs::validate_trace_file(trace_file);
+    std::fprintf(stderr, "service_bench: %s: %s\n", trace_file.c_str(),
+                 validation.describe().c_str());
+    if (!validation.ok) {
+      for (const std::string& error : validation.errors) {
+        std::fprintf(stderr, "service_bench:   error: %s\n", error.c_str());
+      }
+      return 1;
+    }
+  }
 
   // --- snapshot: capture / serialize / restore cost ----------------------
   // A fresh half-run service so the snapshot holds live pending state.
@@ -187,9 +215,9 @@ int main(int argc, char** argv) {
   std::printf(
       "{\"bench\":\"service\",\"summary\":true,\"jobs\":%lld,"
       "\"jobs_per_second\":%.0f,\"snapshot_bytes\":%zu,"
-      "\"snapshot_roundtrip_seconds\":%.6f,\"fork_wall_seconds\":%.3f}\n",
+      "\"snapshot_roundtrip_seconds\":%.6f,\"fork_wall_seconds\":%.3f,%s}\n",
       stream.submitted, jobs_per_second, wire.size(),
-      serialize_seconds + deserialize_seconds + restore_seconds,
-      fork_seconds);
+      serialize_seconds + deserialize_seconds + restore_seconds, fork_seconds,
+      bench_provenance_fields(1).c_str());
   return 0;
 }

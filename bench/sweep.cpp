@@ -59,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "dmr/observe.hpp"
 #include "dmr/simulation.hpp"
 #include "dmr/util.hpp"
 
@@ -112,6 +113,8 @@ struct SweepOptions {
   std::string swf;  // non-empty = replay this SWF trace
   std::string members = fed::kDefaultMemberMix;  // federation member mix
   std::string append_json;  // non-empty = append the summary line here
+  std::string trace;        // non-empty = record scenario 0's timeline here
+  std::string engine_json;  // non-empty = append a profiled engine row here
 };
 
 /// SWF mode: one trace shaped onto one target cluster, computed once in
@@ -202,11 +205,14 @@ ShapedTrace shape_trace(const wl::SwfTrace& trace, int target_nodes,
 }
 
 /// Build the FS workload for one scenario and run it to completion.
-std::string run_scenario(const Scenario& scenario) {
+/// `hooks` carries the sweep-wide profiler, plus the trace recorder on
+/// the one scenario --trace singled out.
+std::string run_scenario(const Scenario& scenario, const obs::Hooks& hooks) {
   const bool federated = scenario.options.clusters > 1;
 
   sim::Engine engine;
   drv::DriverConfig config;
+  config.hooks = hooks;
   int nodes = 0;
   int max_member = 0;
   if (federated) {
@@ -380,13 +386,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--append-json") == 0 && i + 1 < argc) {
       options.append_json = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace = argv[i + 1];
+      ++i;
+    } else if (std::strcmp(argv[i], "--engine-json") == 0 && i + 1 < argc) {
+      options.engine_json = argv[i + 1];
+      ++i;
     } else if (std::sscanf(argv[i], "load=%lf", &fraction) == 1) {
       options.load = fraction;
     } else {
       std::fprintf(stderr,
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
                    "[load=F] [clusters=N | --clusters N] [--members SPEC] "
-                   "[--swf FILE | swf=FILE] [--append-json FILE] [smoke]\n",
+                   "[--swf FILE | swf=FILE] [--append-json FILE] "
+                   "[--trace FILE] [--engine-json FILE] [smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -537,6 +550,12 @@ int main(int argc, char** argv) {
   // grid order to keep runs diffable.
   std::vector<std::string> lines(scenarios.size());
   std::atomic<std::size_t> next{0};
+  // Sweep-wide observability: one profiler shared by every worker
+  // (relaxed atomics — designed for exactly this), and a trace recorder
+  // attached to scenario 0 only, so --trace yields one coherent timeline
+  // rather than an interleaving of independent simulated clocks.
+  obs::TraceRecorder trace_recorder;
+  obs::Profiler profiler;
   const double start = util::wall_seconds();
   std::vector<std::thread> workers;
   const int worker_count =
@@ -547,24 +566,51 @@ int main(int argc, char** argv) {
       for (;;) {
         const std::size_t index = next.fetch_add(1);
         if (index >= scenarios.size()) return;
-        lines[index] = run_scenario(scenarios[index]);
+        obs::Hooks hooks;
+        if (!options.engine_json.empty()) hooks.profiler = &profiler;
+        if (index == 0 && !options.trace.empty()) {
+          hooks.trace = &trace_recorder;
+        }
+        lines[index] = run_scenario(scenarios[index], hooks);
       }
     });
   }
   for (auto& worker : workers) worker.join();
   const double wall = util::wall_seconds() - start;
 
+  if (!options.trace.empty()) {
+    try {
+      trace_recorder.write_file(options.trace);
+      std::fprintf(stderr, "sweep: trace (scenario 0) -> %s: %zu events, "
+                   "%llu dropped\n",
+                   options.trace.c_str(), trace_recorder.recorded(),
+                   static_cast<unsigned long long>(trace_recorder.dropped()));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sweep: %s\n", error.what());
+      return 1;
+    }
+  }
+
   for (const auto& line : lines) std::printf("%s\n", line.c_str());
-  char summary[512];
+  // Grid axis sizes: how many DMR policies and design variants this run
+  // swept (federation mode pins the variant axis to "base").
+  const int policy_count = static_cast<int>(policies.size());
+  const int variant_count =
+      options.clusters > 1
+          ? 1
+          : static_cast<int>(std::end(kVariants) - std::begin(kVariants));
+  char summary[768];
   std::snprintf(
       summary, sizeof(summary),
       "{\"bench\":\"sweep\",\"summary\":true,\"scenarios\":%zu,"
-      "\"clusters\":%d,\"members\":\"%s\",\"threads\":%d,"
-      "\"jobs_per_trace\":%d,\"wall_seconds\":%.3f,"
-      "\"cells_per_second\":%.2f}",
+      "\"clusters\":%d,\"members\":\"%s\","
+      "\"jobs_per_trace\":%d,\"policies\":%d,\"variants\":%d,"
+      "\"wall_seconds\":%.3f,\"cells_per_second\":%.2f,%s}",
       scenarios.size(), options.clusters,
-      json_escape(options.members).c_str(), worker_count, options.jobs, wall,
-      wall > 0.0 ? static_cast<double>(scenarios.size()) / wall : 0.0);
+      json_escape(options.members).c_str(), options.jobs,
+      policy_count, variant_count, wall,
+      wall > 0.0 ? static_cast<double>(scenarios.size()) / wall : 0.0,
+      bench_provenance_fields(worker_count).c_str());
   std::printf("%s\n", summary);
   if (!options.append_json.empty()) {
     // Accumulate the perf trajectory: one summary line per run, appended
@@ -576,6 +622,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(file, "%s\n", summary);
+    std::fclose(file);
+  }
+  if (!options.engine_json.empty()) {
+    // One profiled row over the whole sweep (every scenario fed the
+    // shared profiler): sweep's contribution to the BENCH_engine.json
+    // trajectory.  `jobs` is the planned grid total — SWF shaping may
+    // keep fewer per scenario; the per-scenario lines carry exact counts.
+    const obs::ProfileReport report = profiler.report(
+        wall, static_cast<long long>(scenarios.size()) *
+                  static_cast<long long>(options.jobs));
+    std::FILE* file = std::fopen(options.engine_json.c_str(), "a");
+    if (file == nullptr) {
+      std::fprintf(stderr, "sweep: cannot append to %s\n",
+                   options.engine_json.c_str());
+      return 1;
+    }
+    std::fprintf(file,
+                 "{\"bench\":\"engine\",\"workload\":\"sweep\","
+                 "\"scenarios\":%zu,\"jobs_per_trace\":%d,%s,%s}\n",
+                 scenarios.size(), options.jobs, report.json_fields().c_str(),
+                 bench_provenance_fields(worker_count).c_str());
     std::fclose(file);
   }
   return 0;

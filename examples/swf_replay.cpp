@@ -9,10 +9,14 @@
 //   ./swf_replay KTH-SP2-1996-2.1-cln.swf
 //
 // Without an argument it replays a small embedded trace so the example
-// is self-contained.
+// is self-contained.  With `--trace FILE.json` the flexible replay is
+// recorded as a Perfetto-loadable timeline (see examples/trace_timeline
+// for the walkthrough of that output).
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "dmr/observe.hpp"
 #include "dmr/simulation.hpp"
 
 namespace {
@@ -33,10 +37,12 @@ constexpr const char* kEmbeddedTrace = R"(; Computer: Embedded demo machine
 6 260  5 150 1 -1 -1 1 300 -1 1 4 2 4 1 1 -1 0
 )";
 
-drv::WorkloadMetrics replay(const wl::Workload& workload, bool flexible) {
+drv::WorkloadMetrics replay(const wl::Workload& workload, bool flexible,
+                            const obs::Hooks& hooks = {}) {
   sim::Engine engine;
   drv::DriverConfig config;
   config.rms.nodes = workload.target_nodes;
+  config.hooks = hooks;
   drv::WorkloadDriver driver(engine, config);
   drv::PlanShape shape;
   shape.steps = 10;
@@ -58,12 +64,23 @@ void report(const char* label, const drv::WorkloadMetrics& metrics) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_file;
+  std::string swf_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[i + 1];
+      ++i;
+    } else {
+      swf_file = argv[i];
+    }
+  }
+
   // 1. Parse: directives + 18-field records, tolerant of comments and
   //    blank lines, loud about malformed lines.
   wl::SwfTrace trace;
   try {
-    trace = argc > 1 ? wl::parse_swf_file(argv[1])
-                     : wl::parse_swf_text(kEmbeddedTrace);
+    trace = swf_file.empty() ? wl::parse_swf_text(kEmbeddedTrace)
+                             : wl::parse_swf_file(swf_file);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "swf_replay: %s\n", error.what());
     return 2;
@@ -101,12 +118,23 @@ int main(int argc, char** argv) {
   }
 
   // 3. Replay: the same workload fixed vs flexible through the driver.
+  //    With --trace, the flexible replay records its timeline.
   std::printf("\nreplay on %d nodes, 10 reconfiguring points per job:\n",
               workload.target_nodes);
   const auto fixed = replay(workload, /*flexible=*/false);
-  const auto flexible = replay(workload, /*flexible=*/true);
+  obs::TraceRecorder recorder;
+  obs::Hooks hooks;
+  if (!trace_file.empty()) hooks.trace = &recorder;
+  const auto flexible = replay(workload, /*flexible=*/true, hooks);
   report("fixed", fixed);
   report("flexible", flexible);
+  if (!trace_file.empty()) {
+    recorder.write_file(trace_file);
+    std::printf("\nwrote the flexible replay's timeline to %s "
+                "(%zu events): %s\n",
+                trace_file.c_str(), recorder.recorded(),
+                obs::validate_trace_file(trace_file).describe().c_str());
+  }
   if (flexible.completion.mean > 0.0 && fixed.completion.mean > 0.0) {
     std::printf("\nflexible completion gain: %.1f%%\n",
                 drv::gain_percent(fixed.completion.mean,

@@ -1,0 +1,25 @@
+// Build provenance for self-describing bench rows.
+//
+// Every BENCH_*.json trajectory row carries the git revision the binary
+// was built from, an ISO-8601 UTC timestamp and the thread count, so
+// numbers recorded across PRs stay attributable and comparable.  The
+// git sha is captured by CMake at configure time (cmake/
+// build_info.cpp.in); "unknown" outside a git checkout.
+#pragma once
+
+#include <string>
+
+namespace dmr {
+
+/// Short git revision of the configured source tree ("unknown" when
+/// CMake could not resolve one).
+const char* git_sha();
+
+/// Current UTC time as ISO-8601 ("2026-08-07T12:34:56Z").
+std::string iso8601_utc_now();
+
+/// The provenance fields of one bench-JSON row, brace-free:
+/// "git_sha":"...","timestamp":"...","threads":N — splice into any row.
+std::string bench_provenance_fields(int threads);
+
+}  // namespace dmr

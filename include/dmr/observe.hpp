@@ -1,0 +1,23 @@
+// Observability: tracing, self-profiling and the unified counter
+// registry.
+//
+// Attach an obs::TraceRecorder and/or obs::Profiler to a run through
+// obs::Hooks (DriverConfig::hooks, ServiceConfig reaches it via its
+// driver config) and the instrumented layers emit:
+//  - a Perfetto-loadable Chrome trace-event timeline (job lifecycle
+//    spans, schedule/reconfig/redistribution phases, placement
+//    decisions, counter tracks), and
+//  - a wall-clock self-profile (events/sec, time in schedule vs
+//    placement vs redistribution, peak RSS) whose JSON rows build the
+//    BENCH_engine.json trajectory.
+// obs::Registry is the one named counter surface every subsystem's
+// ad-hoc tallies are mirrored into (WorkloadDriver::fill_counters,
+// svc::Service::counters()).
+#pragma once
+
+#include "dmr/build_info.hpp"  // IWYU pragma: export
+#include "obs/hooks.hpp"       // IWYU pragma: export
+#include "obs/profiler.hpp"    // IWYU pragma: export
+#include "obs/registry.hpp"    // IWYU pragma: export
+#include "obs/trace.hpp"       // IWYU pragma: export
+#include "obs/validate.hpp"    // IWYU pragma: export

@@ -28,11 +28,17 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
       connection_(std::make_shared<::dmr::Connection>(
           federation_, [this] { return engine_.now(); })),
       trace_(engine) {
+  engine_.set_profiler(config_.hooks.profiler);
+  federation_.set_hooks(config_.hooks);
   federation_.on_start([this](const rms::Job& job) { on_started(job); });
   federation_.on_end([this](const rms::Job& job) {
     (void)job;
     ++completed_;
     trace_.record("completed", completed_);
+    if (config_.hooks.trace != nullptr) {
+      config_.hooks.trace->counter(0, engine_.now(), "completed jobs",
+                                   completed_);
+    }
   });
   const bool multi = federation_.cluster_count() > 1;
   federation_.on_alloc_change([this, multi](int member, int member_allocated,
@@ -40,6 +46,12 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
                                             int total_running) {
     trace_.record("allocated", total_allocated);
     trace_.record("running", total_running);
+    if (config_.hooks.trace != nullptr) {
+      config_.hooks.trace->counter(0, engine_.now(), "allocated nodes",
+                                   total_allocated);
+      config_.hooks.trace->counter(0, engine_.now(), "running jobs",
+                                   total_running);
+    }
     const std::string& name = federation_.cluster_name(member);
     if (multi) trace_.record("allocated@" + name, member_allocated);
     // Per-partition occupancy of the member that changed, for the
@@ -194,6 +206,24 @@ double WorkloadDriver::apply_outcome(Exec& exec, rms::DmrOutcome& outcome) {
   // The stamped outcome is the carrier: workload totals read it back.
   bytes_redistributed_ += outcome.bytes_redistributed;
   redistribution_seconds_ += outcome.redistribution_seconds;
+  if (config_.hooks.trace != nullptr && moved.seconds > 0.0) {
+    // The redistribution occupies [now, now + seconds] of simulated time;
+    // both ends are known here, so the span is recorded in one go (the
+    // job's next reconfiguring point cannot precede the end).
+    const double start = engine_.now();
+    const auto pid =
+        static_cast<std::uint32_t>(federation_.cluster_of(exec.id) + 1);
+    const auto job_id = static_cast<std::uint64_t>(exec.id);
+    config_.hooks.trace->async_begin(
+        pid, start, "redist", job_id,
+        outcome.action == rms::Action::Expand ? "redistribute (expand)"
+                                              : "redistribute (shrink)",
+        "\"bytes\":" + std::to_string(moved.bytes_moved) +
+            ",\"from\":" + std::to_string(previous) +
+            ",\"to\":" + std::to_string(outcome.new_size));
+    config_.hooks.trace->async_end(pid, start + moved.seconds, "redist",
+                                   job_id);
+  }
   return config_.cost.protocol_seconds(outcome.new_size) +
          outcome.redistribution_seconds;
 }
@@ -269,6 +299,32 @@ WorkloadMetrics WorkloadDriver::run() {
     throw std::logic_error("WorkloadDriver: engine drained with live jobs");
   }
   return collect_metrics();
+}
+
+void WorkloadDriver::fill_counters(obs::Registry& registry) const {
+  const rms::Manager::Counters counters = federation_.counters();
+  registry.set("rms.expands", static_cast<double>(counters.expands));
+  registry.set("rms.shrinks", static_cast<double>(counters.shrinks));
+  registry.set("rms.no_actions", static_cast<double>(counters.no_actions));
+  registry.set("rms.aborted_expands",
+               static_cast<double>(counters.aborted_expands));
+  registry.set("rms.checks", static_cast<double>(counters.checks));
+  registry.set("rms.schedule.requests",
+               static_cast<double>(counters.schedule_requests));
+  registry.set("rms.schedule.passes",
+               static_cast<double>(counters.schedule_passes));
+  registry.set("rms.schedule.passes_saved",
+               static_cast<double>(counters.schedule_passes_saved));
+  registry.set("drv.completed", static_cast<double>(completed_));
+  registry.set("drv.redist.bytes",
+               static_cast<double>(bytes_redistributed_));
+  registry.set("drv.redist.seconds", redistribution_seconds_);
+  for (int c = 0; c < federation_.cluster_count(); ++c) {
+    registry.set(
+        "fed.placements." + federation_.cluster_name(c),
+        static_cast<double>(
+            federation_.placements()[static_cast<std::size_t>(c)]));
+  }
 }
 
 WorkloadMetrics WorkloadDriver::collect_metrics() const {

@@ -27,6 +27,8 @@
 #include "drv/cost_model.hpp"
 #include "drv/metrics.hpp"
 #include "fed/federation.hpp"
+#include "obs/hooks.hpp"
+#include "obs/registry.hpp"
 #include "rms/manager.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -69,6 +71,10 @@ struct DriverConfig {
   /// check (the overhead the checking inhibitor exists to curb; only
   /// noticeable for micro-step applications, Section VIII-E).
   double check_overhead_seconds = 0.05;
+  /// Tracing/profiling sinks (both null by default = no overhead).  The
+  /// driver wires them through the engine, the federation and every
+  /// member manager; the pointed-to objects must outlive the driver.
+  obs::Hooks hooks;
 };
 
 class WorkloadDriver {
@@ -102,6 +108,12 @@ class WorkloadDriver {
 
   /// Jobs whose sessions completed so far.
   int completed() const { return completed_; }
+
+  /// Mirror every legacy counter into the unified registry: manager
+  /// counters under "rms.", redistribution totals under "drv.redist.",
+  /// per-member routing under "fed.placements.<cluster>".  Overwrites,
+  /// so a snapshot always equals the live legacy values.
+  void fill_counters(obs::Registry& registry) const;
 
   const sim::TraceRecorder& trace() const { return trace_; }
   /// The federation the driver runs against (a single member unless

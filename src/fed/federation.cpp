@@ -1,8 +1,10 @@
 #include "fed/federation.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace dmr::fed {
@@ -122,6 +124,7 @@ JobId Federation::submit(JobSpec spec, double now) {
                                      : ", partition '" + spec.partition + "'") +
                                 ")");
   }
+  const double wall_start = hooks_.any() ? util::wall_seconds() : 0.0;
   const int picked = policy_->place(spec, all, eligible);
   if (std::find(eligible.begin(), eligible.end(), picked) == eligible.end()) {
     throw std::logic_error("Federation: policy '" + policy_->name() +
@@ -129,6 +132,21 @@ JobId Federation::submit(JobSpec spec, double now) {
                            std::to_string(picked));
   }
   ++placements_[static_cast<std::size_t>(picked)];
+  if (hooks_.any()) {
+    const double wall = util::wall_seconds() - wall_start;
+    if (hooks_.profiler != nullptr) hooks_.profiler->add_placement(wall);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->instant(
+          0, 0, now, "place " + spec.name,
+          "\"cluster\":\"" + obs::TraceRecorder::escape(cluster_name(picked)) +
+              "\",\"policy\":\"" + obs::TraceRecorder::escape(policy_->name()) +
+              "\",\"nodes\":" + std::to_string(spec.requested_nodes));
+      hooks_.trace->counter(
+          0, now, "placements",
+          static_cast<double>(std::accumulate(placements_.begin(),
+                                              placements_.end(), 0LL)));
+    }
+  }
   DMR_DEBUG("fed") << "route '" << spec.name << "' (" << spec.requested_nodes
                    << " nodes) -> " << cluster_name(picked) << " via "
                    << policy_->name();
@@ -245,6 +263,22 @@ void Federation::add_nodes(int member, int count,
                            const std::string& partition) {
   manager(member).add_nodes(count, partition);
   total_nodes_ += count;
+}
+
+void Federation::set_hooks(const obs::Hooks& hooks) {
+  hooks_ = hooks;
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->set_process_name(0, "federation");
+    hooks_.trace->set_thread_name(0, 0, "placement");
+  }
+  for (std::size_t c = 0; c < managers_.size(); ++c) {
+    const auto pid = static_cast<std::uint32_t>(c + 1);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->set_process_name(
+          pid, "cluster " + cluster_name(static_cast<int>(c)));
+    }
+    managers_[c]->set_hooks(hooks_, pid);
+  }
 }
 
 void Federation::on_start(rms::Manager::JobCallback cb) {

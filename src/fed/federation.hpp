@@ -28,6 +28,7 @@
 
 #include "dmr/rms.hpp"
 #include "fed/placement.hpp"
+#include "obs/hooks.hpp"
 #include "rms/manager.hpp"
 
 namespace dmr::fed {
@@ -128,6 +129,11 @@ class Federation : public ::dmr::Rms {
 
   // --- instrumentation (forwarded to every member) ---------------------------
 
+  /// Attach tracing/profiling: the federation takes trace process 0
+  /// (placement decisions, global counters) and hands member c the
+  /// process track c+1, named after the cluster.
+  void set_hooks(const obs::Hooks& hooks);
+
   void on_start(rms::Manager::JobCallback cb);
   void on_end(rms::Manager::JobCallback cb);
   /// Fired after any member's allocation change with (member index, that
@@ -147,6 +153,7 @@ class Federation : public ::dmr::Rms {
   std::shared_ptr<PlacementPolicy> policy_;
   std::vector<long long> placements_;
   int total_nodes_ = 0;
+  obs::Hooks hooks_;
 
   // Last-seen per-member figures for federation-wide alloc callbacks.
   std::vector<int> cluster_allocated_;

@@ -1,0 +1,26 @@
+// obs::Hooks — the nullable instrumentation bundle threaded through the
+// stack.
+//
+// Every instrumented layer (sim::Engine, rms::Manager, fed::Federation,
+// drv::WorkloadDriver, dmr::redist strategies, svc::Service) holds a
+// copy of this two-pointer struct.  Both pointers default to null, so
+// an un-instrumented run pays exactly one pointer test per hook site —
+// the ≤2% overhead budget bench/engine_bench smoke mode asserts.  The
+// pointed-to recorder/profiler are owned by the caller (a bench, a
+// test, the sweep harness) and must outlive the run.
+#pragma once
+
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace dmr::obs {
+
+struct Hooks {
+  TraceRecorder* trace = nullptr;
+  Profiler* profiler = nullptr;
+
+  bool any() const { return trace != nullptr || profiler != nullptr; }
+};
+
+}  // namespace dmr::obs

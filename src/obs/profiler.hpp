@@ -1,0 +1,106 @@
+// obs::Profiler — wall-clock self-profiling of the simulator itself.
+//
+// The archive-scale roadmap item starts with "pull a real log through,
+// profile, and rebuild the hot path"; this is the measurement half.
+// Instrumented layers feed the profiler while a run executes:
+//
+//  - sim::Engine counts every dispatched event (on_event);
+//  - rms::Manager accumulates the wall seconds of real schedule passes;
+//  - fed::Federation accumulates placement-decision wall seconds;
+//  - dmr::redist strategies accumulate measured transfer wall seconds
+//    (modeled runs report none — movement there is simulated time).
+//
+// report() folds the accumulators plus the process's peak RSS into a
+// ProfileReport whose JSON row is what bench/engine_bench and
+// bench/sweep append to BENCH_engine.json — the recorded perf
+// trajectory every later optimization PR plots its speedup against.
+//
+// All mutation is relaxed-atomic: sweep attaches one profiler to every
+// worker thread's scenario, and per-event cost must stay at one
+// increment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dmr::obs {
+
+/// One profiling result row (rendered into BENCH_engine.json).
+struct ProfileReport {
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  double events_per_second = 0.0;
+  long long jobs = 0;
+  double jobs_per_second = 0.0;
+  long long schedule_passes = 0;
+  double schedule_seconds = 0.0;
+  /// Mean wall time of one real schedule pass (0 when none ran).
+  double seconds_per_pass = 0.0;
+  long long placements = 0;
+  double placement_seconds = 0.0;
+  long long redists = 0;
+  double redist_seconds = 0.0;
+  /// Wall time not attributed to schedule/placement/redist: event
+  /// dispatch, application-model arithmetic, metrics.
+  double engine_seconds = 0.0;
+  long peak_rss_kb = 0;
+
+  /// The body of one bench-JSON row ("\"k\":v,...", no braces), so
+  /// callers can splice bench-specific fields and provenance around it.
+  std::string json_fields() const;
+};
+
+class Profiler {
+ public:
+  // --- accumulation hooks (relaxed atomics; callable cross-thread) ----------
+
+  void on_event() { events_.fetch_add(1, std::memory_order_relaxed); }
+  void add_events(std::uint64_t count) {
+    events_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void add_schedule(double wall_seconds) {
+    schedule_passes_.fetch_add(1, std::memory_order_relaxed);
+    add(schedule_us_, wall_seconds);
+  }
+  void add_placement(double wall_seconds) {
+    placements_.fetch_add(1, std::memory_order_relaxed);
+    add(placement_us_, wall_seconds);
+  }
+  void add_redist(double wall_seconds) {
+    redists_.fetch_add(1, std::memory_order_relaxed);
+    add(redist_us_, wall_seconds);
+  }
+
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  /// Fold the accumulators into a report for a run that took
+  /// `wall_seconds` and completed `jobs` jobs.
+  ProfileReport report(double wall_seconds, long long jobs) const;
+
+  /// Peak resident set of this process in KiB (VmHWM from
+  /// /proc/self/status; 0 where unavailable).
+  static long peak_rss_kb();
+
+ private:
+  /// Wall seconds are accumulated as integer microseconds: atomic
+  /// doubles need a CAS loop, integer fetch_add does not.
+  static void add(std::atomic<std::uint64_t>& cell, double seconds) {
+    if (seconds > 0.0) {
+      cell.fetch_add(static_cast<std::uint64_t>(seconds * 1.0e6),
+                     std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> schedule_passes_{0};
+  std::atomic<std::uint64_t> schedule_us_{0};
+  std::atomic<std::uint64_t> placements_{0};
+  std::atomic<std::uint64_t> placement_us_{0};
+  std::atomic<std::uint64_t> redists_{0};
+  std::atomic<std::uint64_t> redist_us_{0};
+};
+
+}  // namespace dmr::obs

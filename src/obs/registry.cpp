@@ -1,0 +1,60 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dmr::obs {
+
+void Registry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] = value;
+}
+
+void Registry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] += delta;
+}
+
+double Registry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : 0.0;
+}
+
+bool Registry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.count(name) != 0;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {values_.begin(), values_.end()};
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":";
+    if (value == std::floor(value) && std::abs(value) < 1.0e15) {
+      out << static_cast<long long>(value);
+    } else {
+      out.precision(6);
+      out << std::fixed << value;
+      out.unsetf(std::ios::fixed);
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dmr::obs

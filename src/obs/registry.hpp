@@ -1,0 +1,47 @@
+// obs::Registry — one named counter/gauge registry.
+//
+// Before this existed every subsystem kept its own ad-hoc tallies
+// (rms::Manager::Counters, svc::SubmitQueue::rejected_full, the
+// driver's redistribution totals, fed::Federation::placements) behind
+// its own accessor, and every consumer re-stitched them.  The registry
+// is the uniform surface: dotted names ("rms.expands",
+// "fed.placements.alpha", "svc.ring.rejected_full") mapped to doubles,
+// snapshotted in sorted order so two snapshots diff line by line.
+//
+// It is a *view*, not a second source of truth: producers overwrite
+// their entries from the live counters on fill (WorkloadDriver::
+// fill_counters, Service::fill_counters), so a snapshot always equals
+// the legacy per-subsystem values — the parity property test_obs pins.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmr::obs {
+
+class Registry {
+ public:
+  /// Set a gauge / overwrite a counter mirror.
+  void set(const std::string& name, double value);
+  /// Accumulate into a counter (creates at delta).
+  void add(const std::string& name, double delta);
+  /// Value of `name`; 0 when absent (absence is observable via has()).
+  double value(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const;
+
+  /// All entries, name-sorted.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+  /// One sorted JSON object: {"name":value,...}.  Integral values print
+  /// without a fraction so counter JSON diffs stay clean.
+  std::string snapshot_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace dmr::obs

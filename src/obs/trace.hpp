@@ -1,0 +1,133 @@
+// obs::TraceRecorder — structured tracing in Chrome trace-event JSON.
+//
+// The paper's core artifacts are *timelines*: jobs expanding and
+// shrinking across a cluster over simulated time.  The recorder captures
+// them as a Perfetto / chrome://tracing loadable file:
+//
+//  - per-job lifecycle spans (submit -> wait -> run, with expand/shrink
+//    instant events) as nestable async events keyed by job id, grouped
+//    under the owning member cluster's process track;
+//  - spans for schedule passes and reconfiguration negotiate/apply
+//    phases ("X" complete events whose duration is the *wall* time the
+//    pass burned, placed at the simulated instant it ran);
+//  - drain phases and redistribution executions as async spans covering
+//    their simulated duration;
+//  - federation placement decisions as instant events;
+//  - counter tracks ("C" events: allocated nodes, running jobs, queue
+//    depth, ring depth, ...).
+//
+// Timestamps are simulated seconds converted to trace microseconds, so
+// the Perfetto timeline *is* the paper's virtual-time axis.  Every
+// record call takes the timestamp explicitly — the recorder has no
+// clock of its own, which keeps it usable from the clock-agnostic
+// layers (rms::Manager, fed::Federation) and makes tampering trivial in
+// validator tests.
+//
+// Cost discipline: instrumented code holds an `obs::TraceRecorder*`
+// that is null by default, so a disabled run pays one pointer test per
+// hook site.  An attached recorder appends into a bounded in-memory
+// ring: when the ring fills, *new* events are dropped and counted —
+// dropped() and the written JSON surface the loss, never silent
+// truncation.  All entry points are mutex-guarded (redistribution
+// strategies record from rank threads).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmr::obs {
+
+/// One recorded trace event (the writer renders it to JSON).
+struct TraceEvent {
+  double ts_us = 0.0;      ///< simulated time in trace microseconds
+  double dur_us = 0.0;     ///< "X" events: span duration (wall or sim)
+  double value = 0.0;      ///< "C" events: the counter sample
+  std::uint64_t id = 0;    ///< async events: scoping id (the job id)
+  std::uint32_t pid = 0;   ///< process track (0 = federation, c+1 = member c)
+  std::uint32_t tid = 0;   ///< thread track within the process
+  char ph = 'i';           ///< trace-event phase: B E X i C b n e
+  std::string name;
+  std::string cat;         ///< async events: category scoping the id
+  std::string args;        ///< pre-rendered JSON object body ("\"k\":v,...")
+};
+
+class TraceRecorder {
+ public:
+  /// Ring capacity in events; the ring never grows and never silently
+  /// truncates — overflow increments dropped() instead.
+  explicit TraceRecorder(std::size_t capacity = std::size_t(1) << 20);
+
+  // --- track naming (metadata; bounded by track count, not ring space) ------
+
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  // --- synchronous spans on a (pid, tid) track ------------------------------
+
+  /// Begin/end span pair; per-track begin/end must balance (the strict
+  /// validator checks the stack).
+  void begin(std::uint32_t pid, std::uint32_t tid, double ts_seconds,
+             std::string name, std::string args = {});
+  void end(std::uint32_t pid, std::uint32_t tid, double ts_seconds);
+
+  /// Complete span at a simulated instant whose duration is measured in
+  /// *wall* microseconds (schedule passes and negotiate/apply phases run
+  /// in zero simulated time but real wall time).
+  void complete(std::uint32_t pid, std::uint32_t tid, double ts_seconds,
+                double wall_dur_us, std::string name, std::string args = {});
+
+  /// Thread-scoped instant event.
+  void instant(std::uint32_t pid, std::uint32_t tid, double ts_seconds,
+               std::string name, std::string args = {});
+
+  // --- nestable async spans, keyed by (pid, cat, id) ------------------------
+
+  void async_begin(std::uint32_t pid, double ts_seconds, std::string cat,
+                   std::uint64_t id, std::string name, std::string args = {});
+  void async_instant(std::uint32_t pid, double ts_seconds, std::string cat,
+                     std::uint64_t id, std::string name,
+                     std::string args = {});
+  void async_end(std::uint32_t pid, double ts_seconds, std::string cat,
+                 std::uint64_t id, std::string name = {});
+
+  // --- counter tracks, keyed by (pid, name) ---------------------------------
+
+  void counter(std::uint32_t pid, double ts_seconds, std::string name,
+               double value);
+
+  // --- introspection / output ----------------------------------------------
+
+  std::size_t recorded() const;
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Render the whole trace as one Chrome trace-event JSON object:
+  /// {"displayTimeUnit":"ms","otherData":{"dropped_events":N},
+  ///  "traceEvents":[...]}.  Metadata (track names) first, then the ring
+  /// in record order.  When events were dropped, a final instant event
+  /// flags the loss on the timeline itself.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+  /// write_json to `path`; throws std::runtime_error when unwritable.
+  void write_file(const std::string& path) const;
+
+  /// JSON-escape a string for use inside args/name values.
+  static std::string escape(const std::string& text);
+
+ private:
+  void push(TraceEvent event);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t dropped_ = 0;
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+      thread_names_;
+};
+
+}  // namespace dmr::obs

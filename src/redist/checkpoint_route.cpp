@@ -68,6 +68,7 @@ Report CheckpointRoute::send(const Endpoint& endpoint,
     endpoint.link->send_value(dst, kReadyTag, endpoint.rank);
   }
   report.seconds = wall_seconds() - start;
+  record(report);
   return report;
 }
 
@@ -108,6 +109,7 @@ Report CheckpointRoute::recv(const Endpoint& endpoint, Registry& registry) {
     }
   }
   report.seconds = wall_seconds() - start;
+  record(report);
   return report;
 }
 

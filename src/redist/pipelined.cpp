@@ -92,6 +92,7 @@ Report PipelinedChunks::send(const Endpoint& endpoint,
   }
   for (auto& request : window) request.wait();
   report.seconds = wall_seconds() - start;
+  record(report);
   return report;
 }
 
@@ -136,6 +137,7 @@ Report PipelinedChunks::recv(const Endpoint& endpoint, Registry& registry) {
     ++report.transfers;
   }
   report.seconds = wall_seconds() - start;
+  record(report);
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/hooks.hpp"
 #include "redist/buffer.hpp"
 
 namespace dmr::smpi {
@@ -70,6 +71,22 @@ class Strategy {
   /// New-side half: populate every registered buffer from the link,
   /// resizing local storage to the new layout.
   virtual Report recv(const Endpoint& endpoint, Registry& registry) = 0;
+
+  /// Attach profiling: every measured send/recv Report feeds the
+  /// profiler's redistribution bucket.  Safe to call concurrently with
+  /// nothing (set before the strategy runs); the profiler must outlive
+  /// the strategy.
+  void set_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
+
+ protected:
+  /// Implementations call this on every measured Report (rank threads
+  /// included — the profiler is relaxed-atomic).
+  void record(const Report& report) {
+    if (hooks_.profiler != nullptr) hooks_.profiler->add_redist(report.seconds);
+  }
+
+ private:
+  obs::Hooks hooks_;
 };
 
 /// Factory by name: "p2p", "pipelined" or "checkpoint" (the checkpoint

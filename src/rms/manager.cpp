@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace dmr::rms {
@@ -14,6 +15,18 @@ Cluster make_cluster(const RmsConfig& config) {
   return Cluster(config.nodes);
 }
 
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::Expand:
+      return "expand";
+    case Action::Shrink:
+      return "shrink";
+    case Action::None:
+      break;
+  }
+  return "none";
+}
+
 }  // namespace
 
 Manager::Manager(RmsConfig config)
@@ -22,6 +35,24 @@ Manager::Manager(RmsConfig config)
       next_id_(config_.first_job_id) {
   config_.scheduler.weights.cluster_size = cluster_.size();
   cluster_.set_alloc_policy(config_.scheduler.alloc);
+}
+
+void Manager::set_hooks(const obs::Hooks& hooks, std::uint32_t trace_pid) {
+  hooks_ = hooks;
+  trace_pid_ = trace_pid;
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->set_thread_name(trace_pid_, 0, "schedule");
+    hooks_.trace->set_thread_name(trace_pid_, 1, "reconfig");
+  }
+}
+
+void Manager::trace_queue_depth(double now) {
+  if (hooks_.trace == nullptr) return;
+  int depth = 0;
+  for (const Job* pending : pending_jobs_) {
+    if (!pending->spec.internal_resizer) ++depth;
+  }
+  hooks_.trace->counter(trace_pid_, now, "queue depth", depth);
 }
 
 void Manager::rescale_time_limit(Job& job, double now, double ratio) {
@@ -121,6 +152,13 @@ JobId Manager::submit(JobSpec spec, double now) {
     ++unfinished_user_jobs_;
   }
   mark_queue_changed();
+  if (hooks_.trace != nullptr && !stored.spec.internal_resizer) {
+    hooks_.trace->async_begin(
+        trace_pid_, now, "job", static_cast<std::uint64_t>(id),
+        stored.spec.name,
+        "\"requested_nodes\":" + std::to_string(stored.requested_nodes));
+    trace_queue_depth(now);
+  }
   return id;
 }
 
@@ -136,6 +174,11 @@ void Manager::start_job(Job& job, double now) {
                    << " nodes at t=" << now;
   if (!job.spec.internal_resizer) {
     for (const auto& cb : start_callbacks_) cb(job);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->async_instant(
+          trace_pid_, now, "job", static_cast<std::uint64_t>(job.id), "start",
+          "\"nodes\":" + std::to_string(job.allocated()));
+    }
   }
   notify_alloc();
 }
@@ -164,6 +207,9 @@ std::vector<JobId> Manager::schedule(double now) {
     ++counters_.schedule_passes_saved;
     return started;
   }
+  const bool instrumented = hooks_.any();
+  const double wall_start = instrumented ? util::wall_seconds() : 0.0;
+  const long long passes_before = counters_.schedule_passes;
   placements_dirty_ = false;
   const bool heterogeneous = cluster_.partition_count() > 1;
   // Iterate only while a start can enable further starts: a started job
@@ -250,6 +296,18 @@ std::vector<JobId> Manager::schedule(double now) {
       break;
     }
   }
+  if (instrumented) {
+    const double wall = util::wall_seconds() - wall_start;
+    if (hooks_.profiler != nullptr) hooks_.profiler->add_schedule(wall);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->complete(
+          trace_pid_, 0, now, wall * 1.0e6, "schedule",
+          "\"passes\":" +
+              std::to_string(counters_.schedule_passes - passes_before) +
+              ",\"started\":" + std::to_string(started.size()));
+      trace_queue_depth(now);
+    }
+  }
   return started;
 }
 
@@ -268,9 +326,19 @@ void Manager::finish_job(Job& job, double now, JobState final_state) {
   if (was_pending) remove_from(pending_jobs_, &job);
   job.state = final_state;
   job.end_time = now;
+  if (hooks_.trace != nullptr && open_drain_spans_.erase(job.id) != 0) {
+    // A job can end while still draining; close its drain span so the
+    // trace stays balanced.
+    hooks_.trace->async_end(trace_pid_, now, "reconfig",
+                            static_cast<std::uint64_t>(job.id), "drain");
+  }
   if (!job.spec.internal_resizer) {
     --unfinished_user_jobs_;
     for (const auto& cb : end_callbacks_) cb(job);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->async_end(trace_pid_, now, "job",
+                              static_cast<std::uint64_t>(job.id));
+    }
   }
   ++queue_version_;
   // Released nodes or a removed queue entry (a new head) can both change
@@ -395,7 +463,15 @@ PolicyDecision Manager::dmr_decide(JobId id, const DmrRequest& request,
       }
     }
   }
-  return reconfiguration_policy(view, request);
+  if (hooks_.trace == nullptr) return reconfiguration_policy(view, request);
+  const double wall_start = util::wall_seconds();
+  PolicyDecision decision = reconfiguration_policy(view, request);
+  hooks_.trace->complete(
+      trace_pid_, 1, now, (util::wall_seconds() - wall_start) * 1.0e6,
+      "negotiate",
+      "\"job\":" + std::to_string(id) + ",\"action\":\"" +
+          action_name(decision.action) + "\"");
+  return decision;
 }
 
 DmrOutcome Manager::dmr_check(JobId id, const DmrRequest& request,
@@ -405,6 +481,25 @@ DmrOutcome Manager::dmr_check(JobId id, const DmrRequest& request,
 
 DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
                               double now) {
+  if (!hooks_.any()) return dmr_apply_impl(id, decision, now);
+  const double wall_start = util::wall_seconds();
+  DmrOutcome outcome = dmr_apply_impl(id, decision, now);
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->complete(
+        trace_pid_, 1, now, (util::wall_seconds() - wall_start) * 1.0e6,
+        "apply",
+        "\"job\":" + std::to_string(id) + ",\"action\":\"" +
+            action_name(outcome.action) +
+            "\",\"aborted\":" + (outcome.aborted ? "true" : "false"));
+    hooks_.trace->counter(
+        trace_pid_, now, "reconfigs",
+        static_cast<double>(counters_.expands + counters_.shrinks));
+  }
+  return outcome;
+}
+
+DmrOutcome Manager::dmr_apply_impl(JobId id, const PolicyDecision& decision,
+                                   double now) {
   Job& job = job_mutable(id);
   if (!job.running()) {
     throw std::logic_error("Manager: dmr_apply on non-running job");
@@ -449,6 +544,12 @@ DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
         cb(job, Action::Expand, decision.new_size - extra, decision.new_size,
            now);
       }
+      if (hooks_.trace != nullptr) {
+        hooks_.trace->async_instant(
+            trace_pid_, now, "job", static_cast<std::uint64_t>(id), "expand",
+            "\"from\":" + std::to_string(decision.new_size - extra) +
+                ",\"to\":" + std::to_string(decision.new_size));
+      }
       notify_alloc();
       DMR_DEBUG("rms") << "job " << id << " expanded to " << job.allocated()
                        << " nodes at t=" << now;
@@ -484,6 +585,13 @@ DmrOutcome Manager::dmr_apply(JobId id, const PolicyDecision& decision,
         }
       }
       ++counters_.shrinks;
+      if (hooks_.trace != nullptr) {
+        hooks_.trace->async_begin(
+            trace_pid_, now, "reconfig", static_cast<std::uint64_t>(id),
+            "drain",
+            "\"nodes\":" + std::to_string(outcome.draining_nodes.size()));
+        open_drain_spans_.insert(id);
+      }
       DMR_DEBUG("rms") << "job " << id << " shrinking to "
                        << decision.new_size << " nodes at t=" << now;
       return outcome;
@@ -517,6 +625,16 @@ void Manager::complete_shrink(JobId id, double now) {
   for (const auto& cb : resize_callbacks_) {
     cb(job, Action::Shrink, old_size, job.allocated(), now);
   }
+  if (hooks_.trace != nullptr) {
+    if (open_drain_spans_.erase(id) != 0) {
+      hooks_.trace->async_end(trace_pid_, now, "reconfig",
+                              static_cast<std::uint64_t>(id), "drain");
+    }
+    hooks_.trace->async_instant(
+        trace_pid_, now, "job", static_cast<std::uint64_t>(id), "shrink",
+        "\"from\":" + std::to_string(old_size) +
+            ",\"to\":" + std::to_string(job.allocated()));
+  }
   notify_alloc();
   DMR_DEBUG("rms") << "job " << id << " shrunk to " << job.allocated()
                    << " nodes at t=" << now;
@@ -532,6 +650,13 @@ void Manager::abort_shrink(JobId id, double now) {
   cluster_.set_draining(draining, false);
   // The releases the drain-aware shadow promised are off again.
   placements_dirty_ = true;
+  if (hooks_.trace != nullptr && open_drain_spans_.erase(id) != 0) {
+    hooks_.trace->async_instant(trace_pid_, now, "reconfig",
+                                static_cast<std::uint64_t>(id),
+                                "drain aborted");
+    hooks_.trace->async_end(trace_pid_, now, "reconfig",
+                            static_cast<std::uint64_t>(id), "drain");
+  }
   DMR_DEBUG("rms") << "job " << id << " shrink aborted at t=" << now;
 }
 

@@ -28,9 +28,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "dmr/rms.hpp"
+#include "obs/hooks.hpp"
 #include "rms/cluster.hpp"
 #include "rms/job.hpp"
 #include "rms/policy.hpp"
@@ -149,6 +151,11 @@ class Manager : public ::dmr::Rms {
     resize_callbacks_.push_back(std::move(cb));
   }
 
+  /// Attach tracing/profiling.  `trace_pid` is the process track this
+  /// manager's events land on (a fed::Federation assigns member c the
+  /// track c+1; standalone drivers use 1, leaving 0 for global tracks).
+  void set_hooks(const obs::Hooks& hooks, std::uint32_t trace_pid);
+
   /// Counters for the evaluation section.
   struct Counters {
     long long expands = 0;
@@ -169,12 +176,15 @@ class Manager : public ::dmr::Rms {
 
  private:
   Job& job_mutable(JobId id);
+  DmrOutcome dmr_apply_impl(JobId id, const PolicyDecision& decision,
+                            double now);
   void rescale_time_limit(Job& job, double now, double ratio);
   void start_job(Job& job, double now);
   void finish_job(Job& job, double now, JobState final_state);
   void cancel_dependents(JobId parent, double now);
   bool eligible(const Job& job) const;
   void notify_alloc();
+  void trace_queue_depth(double now);
   std::vector<Job*> eligible_pending(double now);
   /// A queue/allocation event happened: placements may change and the
   /// snapshot caches are stale.
@@ -186,6 +196,12 @@ class Manager : public ::dmr::Rms {
   std::map<JobId, Job> jobs_;
   JobId next_id_;
   Counters counters_;
+
+  obs::Hooks hooks_;
+  std::uint32_t trace_pid_ = 1;
+  /// Jobs with an open drain span in the trace, so complete/abort only
+  /// closes spans this recorder opened (hooks can attach mid-run).
+  std::set<JobId> open_drain_spans_;
 
   // --- live-set indices (the incremental-scheduling state) -----------------
   std::vector<Job*> pending_jobs_;  // every pending job, resizers included

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "util/log.hpp"
 
 namespace dmr::sim {
@@ -55,6 +56,7 @@ bool Engine::step() {
   auto node = callbacks_.extract(entry.id);
   live_.erase(entry.id);
   ++executed_;
+  if (profiler_ != nullptr) profiler_->on_event();
   if (!node.empty() && node.mapped()) node.mapped()();
   return true;
 }

@@ -22,6 +22,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace dmr::obs {
+class Profiler;
+}
+
 namespace dmr::sim {
 
 using SimTime = double;
@@ -93,6 +97,10 @@ class Engine {
   /// Events executed so far (monotone counter, for tests/telemetry).
   std::uint64_t executed() const { return executed_; }
 
+  /// Count every dispatched event into `profiler` (null detaches; the
+  /// disabled path is one pointer test per event).
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   struct Entry {
     SimTime time;
@@ -114,6 +122,7 @@ class Engine {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  obs::Profiler* profiler_ = nullptr;
   bool stop_requested_ = false;
   std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
   std::unordered_set<EventId> cancelled_;

@@ -1,0 +1,383 @@
+// Tests for the observability layer: the trace recorder's output
+// survives the strict validator (and tampered documents do not), ring
+// overflow is counted rather than silently truncated, the counter
+// registry stays in parity with the legacy per-subsystem counters, and
+// attaching tracing never perturbs simulated outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dmr/observe.hpp"
+#include "dmr/service.hpp"
+#include "dmr/simulation.hpp"
+
+namespace {
+
+using namespace dmr;
+
+// --- shared workload helper -------------------------------------------------
+
+struct RunOutcome {
+  std::string digest;
+  drv::WorkloadMetrics metrics;
+};
+
+/// Render every job's full-precision lifecycle: byte-identical across
+/// runs iff the simulated outcomes are.
+std::string outcome_digest(const drv::WorkloadDriver& driver) {
+  std::ostringstream out;
+  out.precision(17);
+  const fed::Federation& federation = driver.federation();
+  for (int c = 0; c < federation.cluster_count(); ++c) {
+    for (const rms::Job* job : federation.manager(c).jobs()) {
+      out << job->id << ':' << job->submit_time << ':' << job->start_time
+          << ':' << job->end_time << '\n';
+    }
+  }
+  return out.str();
+}
+
+/// A small FS workload (Feitelson sizes/arrivals, 5 reconfiguring
+/// points) on a 16-node cluster, with `hooks` threaded through the
+/// driver.  `configure` tweaks the driver before the run.
+RunOutcome run_fs(std::uint64_t seed, const obs::Hooks& hooks,
+                  int jobs = 20) {
+  wl::FeitelsonParams params;
+  params.jobs = jobs;
+  params.max_size = 16;
+  params.mean_interarrival = 15.0;
+  params.max_runtime = 60.0 * 5;
+  params.seed = seed;
+  const auto workload = wl::generate_feitelson(params);
+
+  sim::Engine engine;
+  drv::DriverConfig config;
+  config.rms.nodes = 16;
+  config.hooks = hooks;
+  drv::WorkloadDriver driver(engine, config);
+  for (const auto& job : workload) {
+    drv::JobPlan plan;
+    plan.arrival = job.arrival;
+    plan.model = apps::fs_model(5, job.size, job.runtime / 5, 16,
+                                std::size_t(1) << 20);
+    plan.submit_nodes = job.size;
+    plan.flexible = true;
+    driver.add(std::move(plan));
+  }
+  RunOutcome outcome;
+  outcome.metrics = driver.run();
+  outcome.digest = outcome_digest(driver);
+  return outcome;
+}
+
+std::string wrap_events(const std::string& events) {
+  return "{\"traceEvents\":[" + events + "]}";
+}
+
+// --- recorder -> validator round trip ---------------------------------------
+
+TEST(TraceRecorder, RealRunRoundTripsThroughStrictValidator) {
+  obs::TraceRecorder trace;
+  const RunOutcome outcome = run_fs(2017, {.trace = &trace});
+  ASSERT_GT(outcome.metrics.jobs, 0);
+  ASSERT_GT(trace.recorded(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  const obs::TraceValidation validation =
+      obs::validate_trace(trace.to_json());
+  EXPECT_TRUE(validation.ok) << validation.describe();
+  for (const auto& error : validation.errors) ADD_FAILURE() << error;
+  // The validator counts non-metadata events: exactly the ring.
+  EXPECT_EQ(validation.events, trace.recorded());
+  // Timeline substance: schedule spans, per-job async spans, and the
+  // global counter tracks (allocated/running/completed at least).
+  EXPECT_GT(validation.spans, 0u);
+  EXPECT_GT(validation.async_spans, 0u);
+  EXPECT_GE(validation.counter_tracks, 3);
+  EXPECT_EQ(validation.dropped, 0u);
+}
+
+TEST(TraceRecorder, EscapesHostileNamesAndArgs) {
+  obs::TraceRecorder trace;
+  trace.set_process_name(0, "quo\"te\\slash");
+  trace.instant(0, 0, 1.0, "name \"with\" quotes",
+                "\"k\":\"v\\\"esc\"");
+  trace.counter(0, 2.0, "tab\tand\nnewline", 4.5);
+  const obs::TraceValidation validation =
+      obs::validate_trace(trace.to_json());
+  EXPECT_TRUE(validation.ok) << validation.describe();
+}
+
+// --- tampered documents -----------------------------------------------------
+
+TEST(TraceValidate, AcceptsMinimalBalancedTrace) {
+  const auto validation = obs::validate_trace(wrap_events(
+      R"({"ph":"B","ts":0,"pid":0,"tid":0,"name":"a"},)"
+      R"({"ph":"E","ts":5,"pid":0,"tid":0})"));
+  EXPECT_TRUE(validation.ok) << validation.describe();
+  EXPECT_EQ(validation.spans, 1u);
+}
+
+TEST(TraceValidate, RejectsUnclosedSpan) {
+  const auto validation = obs::validate_trace(
+      wrap_events(R"({"ph":"B","ts":0,"pid":0,"tid":0,"name":"a"})"));
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(TraceValidate, RejectsBackwardsTimestamps) {
+  const auto validation = obs::validate_trace(wrap_events(
+      R"({"ph":"B","ts":10,"pid":0,"tid":0,"name":"a"},)"
+      R"({"ph":"E","ts":5,"pid":0,"tid":0})"));
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(TraceValidate, RejectsCounterWithoutValue) {
+  const auto validation = obs::validate_trace(
+      wrap_events(R"({"ph":"C","ts":0,"pid":0,"tid":0,"name":"c"})"));
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(TraceValidate, RejectsCompleteEventWithoutDuration) {
+  const auto validation = obs::validate_trace(
+      wrap_events(R"({"ph":"X","ts":0,"pid":0,"tid":0,"name":"x"})"));
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(TraceValidate, RejectsUnbalancedAsyncScope) {
+  const auto validation = obs::validate_trace(wrap_events(
+      R"({"ph":"e","ts":0,"pid":0,"tid":0,"cat":"job","id":"0x1"})"));
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(TraceValidate, RejectsMalformedJson) {
+  EXPECT_FALSE(obs::validate_trace("this is not json").ok);
+  EXPECT_FALSE(obs::validate_trace("{\"traceEvents\":42}").ok);
+}
+
+// --- ring overflow ----------------------------------------------------------
+
+TEST(TraceRecorder, OverflowCountsDropsAndWritesThemBack) {
+  obs::TraceRecorder trace(/*capacity=*/8);
+  trace.async_begin(0, 0.0, "job", 1, "span");
+  for (int i = 0; i < 32; ++i) {
+    trace.counter(0, double(i), "depth", double(i));
+  }
+  trace.async_end(0, 40.0, "job", 1);  // dropped: the ring is full
+  EXPECT_EQ(trace.recorded(), 8u);
+  EXPECT_EQ(trace.dropped(), 26u);
+
+  const obs::TraceValidation validation =
+      obs::validate_trace(trace.to_json());
+  // The loss is read back, and the unclosed async span it caused is
+  // demoted to a warning — reported, but not a lie about completeness.
+  EXPECT_EQ(validation.dropped, 26u);
+  EXPECT_TRUE(validation.ok) << validation.describe();
+  EXPECT_FALSE(validation.warnings.empty());
+}
+
+TEST(TraceRecorder, NeverSilentlyTruncates) {
+  obs::TraceRecorder trace(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) trace.instant(0, 0, double(i), "i");
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos) << json;
+  // The timeline itself flags the loss with a final instant event.
+  EXPECT_NE(json.find("events dropped"), std::string::npos) << json;
+}
+
+// --- determinism: tracing on/off, seed-swept --------------------------------
+
+TEST(TraceRecorder, AttachedObservabilityNeverPerturbsOutcomes) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 2017ULL}) {
+    const RunOutcome detached = run_fs(seed, {});
+    const RunOutcome repeat = run_fs(seed, {});
+    obs::TraceRecorder trace;
+    obs::Profiler profiler;
+    const RunOutcome attached =
+        run_fs(seed, {.trace = &trace, .profiler = &profiler});
+    ASSERT_FALSE(detached.digest.empty());
+    EXPECT_EQ(detached.digest, repeat.digest) << "seed " << seed;
+    EXPECT_EQ(detached.digest, attached.digest) << "seed " << seed;
+    EXPECT_GT(profiler.events(), 0u);
+  }
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, SetAddValueSnapshot) {
+  obs::Registry registry;
+  EXPECT_FALSE(registry.has("a"));
+  EXPECT_EQ(registry.value("a"), 0.0);
+  registry.set("a", 2.0);
+  registry.add("a", 3.0);
+  registry.add("b.c", 1.5);
+  EXPECT_EQ(registry.value("a"), 5.0);
+  EXPECT_TRUE(registry.has("b.c"));
+  EXPECT_EQ(registry.size(), 2u);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "a");  // name-sorted
+  EXPECT_EQ(registry.snapshot_json(), "{\"a\":5,\"b.c\":1.500000}");
+}
+
+TEST(Registry, ParityWithLegacyCountersOnWorkloadRun) {
+  wl::FeitelsonParams params;
+  params.jobs = 30;
+  params.max_size = 16;
+  params.mean_interarrival = 10.0;
+  params.max_runtime = 60.0 * 5;
+  params.seed = 2017;
+  sim::Engine engine;
+  drv::DriverConfig config;
+  config.rms.nodes = 16;
+  drv::WorkloadDriver driver(engine, config);
+  for (const auto& job : wl::generate_feitelson(params)) {
+    drv::JobPlan plan;
+    plan.arrival = job.arrival;
+    plan.model = apps::fs_model(5, job.size, job.runtime / 5, 16,
+                                std::size_t(1) << 20);
+    plan.submit_nodes = job.size;
+    plan.flexible = true;
+    driver.add(std::move(plan));
+  }
+  const drv::WorkloadMetrics metrics = driver.run();
+  ASSERT_GT(metrics.expands + metrics.shrinks, 0);
+
+  obs::Registry registry;
+  driver.fill_counters(registry);
+  // The registry is a mirror, not a second source of truth: every entry
+  // must equal the legacy counter it absorbs.
+  EXPECT_EQ(registry.value("rms.expands"), double(metrics.expands));
+  EXPECT_EQ(registry.value("rms.shrinks"), double(metrics.shrinks));
+  EXPECT_EQ(registry.value("rms.checks"), double(metrics.checks));
+  EXPECT_EQ(registry.value("rms.aborted_expands"),
+            double(metrics.aborted_expands));
+  EXPECT_EQ(registry.value("rms.schedule.requests"),
+            double(metrics.schedule_requests));
+  EXPECT_EQ(registry.value("rms.schedule.passes"),
+            double(metrics.schedule_passes));
+  EXPECT_EQ(registry.value("rms.schedule.passes_saved"),
+            double(metrics.schedule_passes_saved));
+  EXPECT_EQ(registry.value("drv.completed"), double(driver.completed()));
+  EXPECT_EQ(registry.value("drv.redist.bytes"),
+            double(metrics.bytes_redistributed));
+  EXPECT_EQ(registry.value("fed.placements.local"), double(metrics.jobs));
+  // Refilling overwrites in place instead of double counting.
+  driver.fill_counters(registry);
+  EXPECT_EQ(registry.value("rms.expands"), double(metrics.expands));
+}
+
+// --- profiler ---------------------------------------------------------------
+
+TEST(Profiler, ReportFoldsAccumulatorsAndRss) {
+  obs::Profiler profiler;
+  profiler.add_events(1000);
+  profiler.on_event();
+  profiler.add_schedule(0.25);
+  profiler.add_schedule(0.25);
+  profiler.add_placement(0.1);
+  profiler.add_redist(0.4);
+  const obs::ProfileReport report = profiler.report(2.0, 10);
+  EXPECT_EQ(report.events, 1001u);
+  EXPECT_DOUBLE_EQ(report.events_per_second, 1001.0 / 2.0);
+  EXPECT_DOUBLE_EQ(report.jobs_per_second, 5.0);
+  EXPECT_EQ(report.schedule_passes, 2);
+  EXPECT_NEAR(report.schedule_seconds, 0.5, 1e-6);
+  EXPECT_NEAR(report.seconds_per_pass, 0.25, 1e-6);
+  EXPECT_EQ(report.placements, 1);
+  EXPECT_EQ(report.redists, 1);
+  EXPECT_NEAR(report.engine_seconds, 2.0 - 0.5 - 0.1 - 0.4, 1e-6);
+  EXPECT_GT(report.peak_rss_kb, 0) << "VmHWM should parse on Linux";
+  const std::string row = report.json_fields();
+  EXPECT_NE(row.find("\"events_per_second\":"), std::string::npos);
+  EXPECT_NE(row.find("\"peak_rss_kb\":"), std::string::npos);
+}
+
+// --- provenance -------------------------------------------------------------
+
+TEST(BuildInfo, ProvenanceFieldsAreRenderable) {
+  EXPECT_NE(dmr::git_sha(), nullptr);
+  EXPECT_GT(std::string(dmr::git_sha()).size(), 0u);
+  const std::string stamp = dmr::iso8601_utc_now();
+  ASSERT_EQ(stamp.size(), 20u) << stamp;  // 2026-01-02T03:04:05Z
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp.back(), 'Z');
+  const std::string fields = dmr::bench_provenance_fields(4);
+  EXPECT_NE(fields.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(fields.find("\"timestamp\":\""), std::string::npos);
+  EXPECT_NE(fields.find("\"threads\":4"), std::string::npos);
+  EXPECT_EQ(fields.find('{'), std::string::npos);  // brace-free splice
+}
+
+// --- service surface --------------------------------------------------------
+
+TEST(ServiceCounters, RegistryAndSamplesExposeIngestTallies) {
+  svc::ServiceConfig config;
+  config.driver.rms.nodes = 16;
+  config.sample_period = 30.0;
+  config.window = 300.0;
+  svc::Service service(config);
+  for (int i = 0; i < 6; ++i) {
+    svc::JobRequest request;
+    request.tag = i;
+    request.arrival = 10.0 * i;
+    request.nodes = 2;
+    request.min_nodes = 1;
+    request.max_nodes = 4;
+    request.runtime = 60.0;
+    request.steps = 5;
+    request.flexible = true;
+    ASSERT_TRUE(service.submit(request));
+  }
+  ASSERT_TRUE(service.drain(1.0e6));
+
+  const obs::Registry& counters = service.counters();
+  EXPECT_EQ(counters.value("svc.accepted"), double(service.accepted()));
+  EXPECT_EQ(counters.value("svc.rejected_stale"),
+            double(service.rejected_stale()));
+  EXPECT_EQ(counters.value("svc.ring.rejected_full"),
+            double(service.queue().rejected_full()));
+  EXPECT_EQ(counters.value("drv.completed"), double(service.completed()));
+  EXPECT_EQ(counters.value("svc.samples"),
+            double(service.sample_records().size()));
+
+  // Samples mirror the registry's cumulative ring-overflow counter and
+  // surface it in their JSON line.
+  ASSERT_FALSE(service.sample_records().empty());
+  const svc::MetricsSample& last = service.sample_records().back();
+  EXPECT_EQ(last.rejected_full_cum,
+            static_cast<long long>(service.queue().rejected_full()));
+  EXPECT_NE(service.sample_lines().back().find("\"rejected_full_cum\":"),
+            std::string::npos);
+}
+
+TEST(ServiceCounters, TraceHooksRecordRingAndUtilizationTracks) {
+  obs::TraceRecorder trace;
+  svc::ServiceConfig config;
+  config.driver.rms.nodes = 16;
+  config.driver.hooks.trace = &trace;
+  config.sample_period = 30.0;
+  config.window = 300.0;
+  svc::Service service(config);
+  svc::JobRequest request;
+  request.arrival = 0.0;
+  request.nodes = 2;
+  request.min_nodes = 1;
+  request.max_nodes = 4;
+  request.runtime = 120.0;
+  request.steps = 5;
+  request.flexible = true;
+  ASSERT_TRUE(service.submit(request));
+  ASSERT_TRUE(service.drain(1.0e6));
+
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("ring depth"), std::string::npos);
+  EXPECT_NE(json.find("utilization"), std::string::npos);
+  const obs::TraceValidation validation = obs::validate_trace(json);
+  EXPECT_TRUE(validation.ok) << validation.describe();
+}
+
+}  // namespace

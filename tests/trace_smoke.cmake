@@ -1,0 +1,43 @@
+# ctest smoke for the tracing layer: record a timeline from a real run
+# (sweep --trace over the bundled miniature SWF trace) and re-read it
+# with the strict structural validator.  Invoked as
+#   cmake -DSWEEP=<sweep binary> -DTRACE_VALIDATE=<trace_validate binary>
+#         -DSWF=<mini.swf> -P trace_smoke.cmake
+
+set(trace_out "${CMAKE_CURRENT_BINARY_DIR}/trace_smoke_out.json")
+file(REMOVE "${trace_out}")
+
+execute_process(COMMAND ${SWEEP} smoke --swf ${SWF} --trace ${trace_out}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sweep --trace exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT EXISTS "${trace_out}")
+  message(FATAL_ERROR "sweep --trace did not write ${trace_out}")
+endif()
+if(NOT err MATCHES "trace \\(scenario 0\\)")
+  message(FATAL_ERROR "missing trace summary on stderr:\n${err}")
+endif()
+
+# The independent re-reader: well-formed JSON, balanced spans, monotone
+# per-track timestamps, and the timeline substance the acceptance bar
+# demands — spans recorded and at least 3 distinct counter tracks.
+execute_process(COMMAND ${TRACE_VALIDATE} --min-counter-tracks 3
+                        --min-spans 1 ${trace_out}
+                OUTPUT_VARIABLE vout
+                ERROR_VARIABLE verr
+                RESULT_VARIABLE vrc)
+if(NOT vrc EQUAL 0)
+  message(FATAL_ERROR "trace_validate rejected ${trace_out} (${vrc}):\n"
+                      "${vout}\n${verr}")
+endif()
+
+# A dropped-event count must be reported (zero here: the smoke run is far
+# below ring capacity).
+if(NOT vout MATCHES "dropped")
+  message(FATAL_ERROR "validator output missing drop accounting:\n${vout}")
+endif()
+
+message(STATUS "trace_smoke: ${vout}")
