@@ -42,6 +42,10 @@
 //              append the end-of-run summary line (cells/sec and the
 //              grid shape) to FILE, so repeated runs accumulate the
 //              perf trajectory (BENCH_sweep.json)
+//   --audit    attach one chk::Auditor per scenario (lifecycle DFA,
+//              node conservation, event ordering, federation routing,
+//              redistribution byte conservation); any violation is
+//              printed and fails the run
 //   --swf FILE replay an SWF (Standard Workload Format) trace instead of
 //              generating a Feitelson one: records are filtered and
 //              rescaled onto each scenario's cluster (pow2-halving
@@ -59,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "dmr/check.hpp"
 #include "dmr/observe.hpp"
 #include "dmr/simulation.hpp"
 #include "dmr/util.hpp"
@@ -109,6 +114,7 @@ struct SweepOptions {
   int steps = 25;
   int threads = 0;  // 0 = hardware concurrency
   int clusters = 1;  // > 1 = federation mode
+  bool audit = false;  // attach a chk::Auditor to every scenario
   double load = 0.9;
   std::string swf;  // non-empty = replay this SWF trace
   std::string members = fed::kDefaultMemberMix;  // federation member mix
@@ -204,11 +210,23 @@ ShapedTrace shape_trace(const wl::SwfTrace& trace, int target_nodes,
   return shaped;
 }
 
+/// Per-sweep audit rollup (--audit): checks and violations across every
+/// scenario, accumulated by the worker threads.
+struct AuditTotals {
+  std::atomic<long long> checks{0};
+  std::atomic<long long> violations{0};
+};
+
 /// Build the FS workload for one scenario and run it to completion.
 /// `hooks` carries the sweep-wide profiler, plus the trace recorder on
-/// the one scenario --trace singled out.
-std::string run_scenario(const Scenario& scenario, const obs::Hooks& hooks) {
+/// the one scenario --trace singled out; --audit adds a per-scenario
+/// chk::Auditor (scenarios are independent, so each gets its own).
+std::string run_scenario(const Scenario& scenario, obs::Hooks hooks,
+                         AuditTotals* audit) {
   const bool federated = scenario.options.clusters > 1;
+
+  chk::Auditor auditor;
+  if (scenario.options.audit) hooks.auditor = &auditor;
 
   sim::Engine engine;
   drv::DriverConfig config;
@@ -306,6 +324,24 @@ std::string run_scenario(const Scenario& scenario, const obs::Hooks& hooks) {
       << "\",\"seed\":" << scenario.seed << ",\"jobs\":" << metrics.jobs
       << ",\"nodes\":" << nodes << ",\"makespan\":" << metrics.makespan
       << ",\"utilization\":" << metrics.utilization;
+  if (scenario.options.audit) {
+    const chk::Report report = auditor.report();
+    audit->checks.fetch_add(report.total_checks());
+    audit->violations.fetch_add(
+        static_cast<long long>(report.violations.size()) +
+        report.dropped_violations);
+    if (!report.ok()) {
+      std::fprintf(stderr,
+                   "sweep: audit violations (cluster=%s policy=%s "
+                   "seed=%llu):\n%s",
+                   federated ? "fed" : scenario.cluster->name,
+                   scenario.policy.name,
+                   static_cast<unsigned long long>(scenario.seed),
+                   report.describe().c_str());
+    }
+    out << ",\"audit_checks\":" << report.total_checks()
+        << ",\"audit_violations\":" << report.violations.size();
+  }
   if (scenario.shaped != nullptr) {
     // Shaping telemetry: what the replay dropped or altered.  A smaller
     // job count than the archive's is reported, never implied.
@@ -372,6 +408,8 @@ int main(int argc, char** argv) {
                std::sscanf(argv[i + 1], "%llu", &value) == 1) {
       options.clusters = static_cast<int>(value);
       ++i;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      options.audit = true;
     } else if (std::strcmp(argv[i], "--swf") == 0 && i + 1 < argc) {
       options.swf = argv[i + 1];
       ++i;
@@ -399,7 +437,7 @@ int main(int argc, char** argv) {
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
                    "[load=F] [clusters=N | --clusters N] [--members SPEC] "
                    "[--swf FILE | swf=FILE] [--append-json FILE] "
-                   "[--trace FILE] [--engine-json FILE] [smoke]\n",
+                   "[--trace FILE] [--engine-json FILE] [--audit] [smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -556,6 +594,7 @@ int main(int argc, char** argv) {
   // rather than an interleaving of independent simulated clocks.
   obs::TraceRecorder trace_recorder;
   obs::Profiler profiler;
+  AuditTotals audit;
   const double start = util::wall_seconds();
   std::vector<std::thread> workers;
   const int worker_count =
@@ -571,7 +610,7 @@ int main(int argc, char** argv) {
         if (index == 0 && !options.trace.empty()) {
           hooks.trace = &trace_recorder;
         }
-        lines[index] = run_scenario(scenarios[index], hooks);
+        lines[index] = run_scenario(scenarios[index], hooks, &audit);
       }
     });
   }
@@ -589,6 +628,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "sweep: %s\n", error.what());
       return 1;
     }
+  }
+
+  if (options.audit) {
+    std::fprintf(stderr,
+                 "sweep: audit: %zu scenarios, %lld checks, %lld "
+                 "violation(s)\n",
+                 scenarios.size(), audit.checks.load(),
+                 audit.violations.load());
   }
 
   for (const auto& line : lines) std::printf("%s\n", line.c_str());
@@ -645,5 +692,6 @@ int main(int argc, char** argv) {
                  bench_provenance_fields(worker_count).c_str());
     std::fclose(file);
   }
+  if (options.audit && audit.violations.load() != 0) return 1;
   return 0;
 }

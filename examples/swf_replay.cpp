@@ -11,11 +11,14 @@
 // Without an argument it replays a small embedded trace so the example
 // is self-contained.  With `--trace FILE.json` the flexible replay is
 // recorded as a Perfetto-loadable timeline (see examples/trace_timeline
-// for the walkthrough of that output).
+// for the walkthrough of that output).  With `--audit` both replays run
+// with the chk::Auditor attached; its JSON report is printed and any
+// invariant violation makes the exit status nonzero.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "dmr/check.hpp"
 #include "dmr/observe.hpp"
 #include "dmr/simulation.hpp"
 
@@ -66,10 +69,13 @@ void report(const char* label, const drv::WorkloadMetrics& metrics) {
 int main(int argc, char** argv) {
   std::string trace_file;
   std::string swf_file;
+  bool audit = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      audit = true;
     } else {
       swf_file = argv[i];
     }
@@ -121,10 +127,17 @@ int main(int argc, char** argv) {
   //    With --trace, the flexible replay records its timeline.
   std::printf("\nreplay on %d nodes, 10 reconfiguring points per job:\n",
               workload.target_nodes);
-  const auto fixed = replay(workload, /*flexible=*/false);
+  // Each replay is an independent engine (fresh clock, fresh job ids),
+  // so each gets a fresh auditor.
+  chk::Auditor fixed_auditor;
+  chk::Auditor flexible_auditor;
+  obs::Hooks fixed_hooks;
+  if (audit) fixed_hooks.auditor = &fixed_auditor;
+  const auto fixed = replay(workload, /*flexible=*/false, fixed_hooks);
   obs::TraceRecorder recorder;
   obs::Hooks hooks;
   if (!trace_file.empty()) hooks.trace = &recorder;
+  if (audit) hooks.auditor = &flexible_auditor;
   const auto flexible = replay(workload, /*flexible=*/true, hooks);
   report("fixed", fixed);
   report("flexible", flexible);
@@ -139,6 +152,18 @@ int main(int argc, char** argv) {
     std::printf("\nflexible completion gain: %.1f%%\n",
                 drv::gain_percent(fixed.completion.mean,
                                   flexible.completion.mean));
+  }
+  if (audit) {
+    const chk::Report fixed_report = fixed_auditor.report();
+    const chk::Report flexible_report = flexible_auditor.report();
+    std::printf("\naudit (fixed):    %s\n", fixed_report.json().c_str());
+    std::printf("audit (flexible): %s\n", flexible_report.json().c_str());
+    if (!fixed_report.ok() || !flexible_report.ok()) {
+      std::fprintf(stderr, "swf_replay: invariant violations:\n%s%s",
+                   fixed_report.describe().c_str(),
+                   flexible_report.describe().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,23 @@
+// Correctness analysis: the opt-in runtime invariant auditor.
+//
+// Attach a chk::Auditor through the same obs::Hooks bundle the tracer
+// and profiler use (DriverConfig::hooks.auditor) and the instrumented
+// layers machine-check their invariants as the run executes:
+//  - the per-job lifecycle DFA (submitted -> queued -> running ->
+//    {reconfiguring <-> running} -> done),
+//  - node conservation in rms::Manager / rms::Cluster,
+//  - sim::Engine event-queue monotonicity and (time, lane, seq) order,
+//  - federation id-range disjointness and routing-stride consistency,
+//  - byte conservation per dmr::redist report.
+// Violations collect into a structured chk::Report (JSON with the
+// BENCH_*.json provenance fields); Options::fail_fast throws
+// chk::AuditError at the first one instead.  Detached, every hook site
+// is one null pointer test.
+//
+// The static half of the chk:: layer is tools/dmr_lint (build target
+// `dmr_lint`, ctest `lint`): the project-rule checker that keeps
+// determinism hazards out of src/ at commit time.
+#pragma once
+
+#include "chk/auditor.hpp"  // IWYU pragma: export
+#include "obs/hooks.hpp"    // IWYU pragma: export

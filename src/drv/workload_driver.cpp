@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "chk/auditor.hpp"
 #include "util/log.hpp"
 
 namespace dmr::drv {
@@ -29,6 +30,7 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
           federation_, [this] { return engine_.now(); })),
       trace_(engine) {
   engine_.set_profiler(config_.hooks.profiler);
+  engine_.set_auditor(config_.hooks.auditor);
   federation_.set_hooks(config_.hooks);
   federation_.on_start([this](const rms::Job& job) { on_started(job); });
   federation_.on_end([this](const rms::Job& job) {
@@ -206,6 +208,12 @@ double WorkloadDriver::apply_outcome(Exec& exec, rms::DmrOutcome& outcome) {
   // The stamped outcome is the carrier: workload totals read it back.
   bytes_redistributed_ += outcome.bytes_redistributed;
   redistribution_seconds_ += outcome.redistribution_seconds;
+  if (config_.hooks.auditor != nullptr) {
+    // A modeled report has no registry; it must account for exactly the
+    // plan's declared state bytes.
+    config_.hooks.auditor->on_redist_report(
+        moved, exec.plan.model.state_bytes, engine_.now());
+  }
   if (config_.hooks.trace != nullptr && moved.seconds > 0.0) {
     // The redistribution occupies [now, now + seconds] of simulated time;
     // both ends are known here, so the span is recorded in one go (the

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "chk/auditor.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -150,8 +151,12 @@ JobId Federation::submit(JobSpec spec, double now) {
   DMR_DEBUG("fed") << "route '" << spec.name << "' (" << spec.requested_nodes
                    << " nodes) -> " << cluster_name(picked) << " via "
                    << policy_->name();
-  return managers_[static_cast<std::size_t>(picked)]->submit(std::move(spec),
-                                                             now);
+  const JobId id =
+      managers_[static_cast<std::size_t>(picked)]->submit(std::move(spec), now);
+  if (hooks_.auditor != nullptr) {
+    hooks_.auditor->on_placement(id, picked, kClusterIdStride, now);
+  }
+  return id;
 }
 
 void Federation::cancel(JobId id, double now) { owner(id).cancel(id, now); }

@@ -3,24 +3,37 @@
 //
 // Every instrumented layer (sim::Engine, rms::Manager, fed::Federation,
 // drv::WorkloadDriver, dmr::redist strategies, svc::Service) holds a
-// copy of this two-pointer struct.  Both pointers default to null, so
+// copy of this three-pointer struct.  All pointers default to null, so
 // an un-instrumented run pays exactly one pointer test per hook site —
 // the ≤2% overhead budget bench/engine_bench smoke mode asserts.  The
-// pointed-to recorder/profiler are owned by the caller (a bench, a
-// test, the sweep harness) and must outlive the run.
+// pointed-to recorder/profiler/auditor are owned by the caller (a bench,
+// a test, the sweep harness) and must outlive the run.
+//
+// The auditor is only forward-declared: layers that never call it (and
+// this header's other includers) stay decoupled from chk::, while the
+// layers that do report to it include chk/auditor.hpp themselves.
 #pragma once
 
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
+namespace dmr::chk {
+class Auditor;
+}
+
 namespace dmr::obs {
 
 struct Hooks {
   TraceRecorder* trace = nullptr;
   Profiler* profiler = nullptr;
+  /// Runtime invariant checker (chk::Auditor); attached runs machine-
+  /// check lifecycle/conservation/ordering invariants as they execute.
+  chk::Auditor* auditor = nullptr;
 
-  bool any() const { return trace != nullptr || profiler != nullptr; }
+  bool any() const {
+    return trace != nullptr || profiler != nullptr || auditor != nullptr;
+  }
 };
 
 }  // namespace dmr::obs

@@ -68,7 +68,7 @@ Report CheckpointRoute::send(const Endpoint& endpoint,
     endpoint.link->send_value(dst, kReadyTag, endpoint.rank);
   }
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 
@@ -109,7 +109,7 @@ Report CheckpointRoute::recv(const Endpoint& endpoint, Registry& registry) {
     }
   }
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 

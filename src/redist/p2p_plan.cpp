@@ -38,7 +38,7 @@ Report P2pPlan::send(const Endpoint& endpoint, const Registry& registry) {
     }
   }
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 
@@ -69,7 +69,7 @@ Report P2pPlan::recv(const Endpoint& endpoint, Registry& registry) {
     }
   }
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 

@@ -92,7 +92,7 @@ Report PipelinedChunks::send(const Endpoint& endpoint,
   }
   for (auto& request : window) request.wait();
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 
@@ -137,7 +137,7 @@ Report PipelinedChunks::recv(const Endpoint& endpoint, Registry& registry) {
     ++report.transfers;
   }
   report.seconds = wall_seconds() - start;
-  record(report);
+  record(report, registry);
   return report;
 }
 

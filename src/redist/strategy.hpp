@@ -72,18 +72,18 @@ class Strategy {
   /// resizing local storage to the new layout.
   virtual Report recv(const Endpoint& endpoint, Registry& registry) = 0;
 
-  /// Attach profiling: every measured send/recv Report feeds the
-  /// profiler's redistribution bucket.  Safe to call concurrently with
-  /// nothing (set before the strategy runs); the profiler must outlive
+  /// Attach profiling/auditing: every measured send/recv Report feeds
+  /// the profiler's redistribution bucket and the auditor's
+  /// byte-conservation check.  Safe to call concurrently with nothing
+  /// (set before the strategy runs); the pointed-to sinks must outlive
   /// the strategy.
   void set_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
 
  protected:
-  /// Implementations call this on every measured Report (rank threads
-  /// included — the profiler is relaxed-atomic).
-  void record(const Report& report) {
-    if (hooks_.profiler != nullptr) hooks_.profiler->add_redist(report.seconds);
-  }
+  /// Implementations call this on every measured Report with the
+  /// registry it moved (rank threads included — the profiler is
+  /// relaxed-atomic and the auditor serializes internally).
+  void record(const Report& report, const Registry& registry);
 
  private:
   obs::Hooks hooks_;

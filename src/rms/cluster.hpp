@@ -18,6 +18,10 @@
 
 #include "rms/job.hpp"
 
+namespace dmr::chk {
+struct TestBackdoor;
+}
+
 namespace dmr::rms {
 
 /// Any partition (unconstrained job) in partition-indexed APIs.
@@ -154,6 +158,9 @@ class Cluster {
   std::vector<int> idle_node_ids() const;
 
  private:
+  /// Test-only state corruption for auditor failure-path tests.
+  friend struct ::dmr::chk::TestBackdoor;
+
   Node& mutable_node(int id);
   std::vector<Node> nodes_;
   std::vector<Partition> partitions_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "chk/auditor.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -152,6 +153,7 @@ JobId Manager::submit(JobSpec spec, double now) {
     ++unfinished_user_jobs_;
   }
   mark_queue_changed();
+  if (hooks_.auditor != nullptr) hooks_.auditor->on_job_submitted(id, now);
   if (hooks_.trace != nullptr && !stored.spec.internal_resizer) {
     hooks_.trace->async_begin(
         trace_pid_, now, "job", static_cast<std::uint64_t>(id),
@@ -172,6 +174,7 @@ void Manager::start_job(Job& job, double now) {
   ++queue_version_;
   DMR_DEBUG("rms") << "start job " << job.id << " on " << job.allocated()
                    << " nodes at t=" << now;
+  if (hooks_.auditor != nullptr) hooks_.auditor->on_job_started(job.id, now);
   if (!job.spec.internal_resizer) {
     for (const auto& cb : start_callbacks_) cb(job);
     if (hooks_.trace != nullptr) {
@@ -298,6 +301,7 @@ std::vector<JobId> Manager::schedule(double now) {
   }
   if (instrumented) {
     const double wall = util::wall_seconds() - wall_start;
+    if (hooks_.auditor != nullptr) hooks_.auditor->check_manager(*this, now);
     if (hooks_.profiler != nullptr) hooks_.profiler->add_schedule(wall);
     if (hooks_.trace != nullptr) {
       hooks_.trace->complete(
@@ -326,6 +330,7 @@ void Manager::finish_job(Job& job, double now, JobState final_state) {
   if (was_pending) remove_from(pending_jobs_, &job);
   job.state = final_state;
   job.end_time = now;
+  if (hooks_.auditor != nullptr) hooks_.auditor->on_job_finished(job.id, now);
   if (hooks_.trace != nullptr && open_drain_spans_.erase(job.id) != 0) {
     // A job can end while still draining; close its drain span so the
     // trace stays balanced.
@@ -537,6 +542,10 @@ DmrOutcome Manager::dmr_apply_impl(JobId id, const PolicyDecision& decision,
       outcome.added_nodes = harvest_resizer(rj, now);
       ++job.expansions;
       ++counters_.expands;
+      if (hooks_.auditor != nullptr) {
+        hooks_.auditor->on_job_resized(id, now);
+        hooks_.auditor->check_manager(*this, now);
+      }
       rescale_time_limit(job, now,
                          static_cast<double>(decision.new_size - extra) /
                              static_cast<double>(decision.new_size));
@@ -585,6 +594,10 @@ DmrOutcome Manager::dmr_apply_impl(JobId id, const PolicyDecision& decision,
         }
       }
       ++counters_.shrinks;
+      if (hooks_.auditor != nullptr) {
+        hooks_.auditor->on_shrink_begun(id, now);
+        hooks_.auditor->check_manager(*this, now);
+      }
       if (hooks_.trace != nullptr) {
         hooks_.trace->async_begin(
             trace_pid_, now, "reconfig", static_cast<std::uint64_t>(id),
@@ -622,6 +635,10 @@ void Manager::complete_shrink(JobId id, double now) {
   job.requested_nodes = job.allocated();
   ++job.shrinks;
   mark_queue_changed();
+  if (hooks_.auditor != nullptr) {
+    hooks_.auditor->on_shrink_ended(id, now);
+    hooks_.auditor->check_manager(*this, now);
+  }
   for (const auto& cb : resize_callbacks_) {
     cb(job, Action::Shrink, old_size, job.allocated(), now);
   }
@@ -650,6 +667,10 @@ void Manager::abort_shrink(JobId id, double now) {
   cluster_.set_draining(draining, false);
   // The releases the drain-aware shadow promised are off again.
   placements_dirty_ = true;
+  if (hooks_.auditor != nullptr && !draining.empty()) {
+    // An abort with no draining nodes never had a begun shrink to end.
+    hooks_.auditor->on_shrink_ended(id, now);
+  }
   if (hooks_.trace != nullptr && open_drain_spans_.erase(id) != 0) {
     hooks_.trace->async_instant(trace_pid_, now, "reconfig",
                                 static_cast<std::uint64_t>(id),

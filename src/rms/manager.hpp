@@ -38,6 +38,10 @@
 #include "rms/policy.hpp"
 #include "rms/scheduler.hpp"
 
+namespace dmr::chk {
+struct TestBackdoor;
+}
+
 namespace dmr::rms {
 
 struct RmsConfig {
@@ -175,6 +179,9 @@ class Manager : public ::dmr::Rms {
   const Counters& counters() const { return counters_; }
 
  private:
+  /// Test-only state corruption for auditor failure-path tests.
+  friend struct ::dmr::chk::TestBackdoor;
+
   Job& job_mutable(JobId id);
   DmrOutcome dmr_apply_impl(JobId id, const PolicyDecision& decision,
                             double now);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "chk/auditor.hpp"
 #include "obs/profiler.hpp"
 #include "util/log.hpp"
 
@@ -52,6 +53,13 @@ bool Engine::pop_next(Entry& out) {
 bool Engine::step() {
   Entry entry;
   if (!pop_next(entry)) return false;
+  if (auditor_ != nullptr) {
+    // Report against the pre-advance clock; next_seq_ is the watermark
+    // separating events that coexisted in the queue from ones the
+    // upcoming callback will schedule.
+    auditor_->on_event_dispatch(entry.time, static_cast<int>(entry.lane),
+                                entry.seq, now_, next_seq_);
+  }
   now_ = entry.time;
   auto node = callbacks_.extract(entry.id);
   live_.erase(entry.id);

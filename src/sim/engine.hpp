@@ -22,6 +22,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace dmr::chk {
+class Auditor;
+struct TestBackdoor;
+}  // namespace dmr::chk
 namespace dmr::obs {
 class Profiler;
 }
@@ -101,7 +105,15 @@ class Engine {
   /// disabled path is one pointer test per event).
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
+  /// Report every dispatch to the invariant auditor: clock monotonicity
+  /// plus (time, lane, seq) order between events that coexisted in the
+  /// queue (null detaches; one pointer test per event).
+  void set_auditor(chk::Auditor* auditor) { auditor_ = auditor; }
+
  private:
+  /// Test-only state corruption for auditor failure-path tests.
+  friend struct ::dmr::chk::TestBackdoor;
+
   struct Entry {
     SimTime time;
     Lane lane;
@@ -123,6 +135,7 @@ class Engine {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   obs::Profiler* profiler_ = nullptr;
+  chk::Auditor* auditor_ = nullptr;
   bool stop_requested_ = false;
   std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
   std::unordered_set<EventId> cancelled_;

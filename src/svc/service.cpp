@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "apps/models.hpp"
+#include "chk/auditor.hpp"
 
 namespace dmr::svc {
 
@@ -122,6 +123,15 @@ void Service::take_sample() {
   if (obs::TraceRecorder* recorder = config_.driver.hooks.trace) {
     recorder->counter(0, t1, "ring depth", sample.ring_depth);
     recorder->counter(0, t1, "utilization", sample.utilization);
+  }
+  if (chk::Auditor* auditor = config_.driver.hooks.auditor) {
+    // The sampler is the service's steady heartbeat: audit the settled
+    // post-event state it is defined to observe (Lane::Sample fires
+    // after every state change at the same instant).
+    auditor->check_federation(federation, t1);
+    for (int c = 0; c < federation.cluster_count(); ++c) {
+      auditor->check_manager(federation.manager(c), t1);
+    }
   }
   window_.rotate();
   samples_.push_back(sample);

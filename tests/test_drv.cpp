@@ -154,7 +154,7 @@ TEST(Driver, RigidWorkloadMovesNoBytes) {
   driver.add(fs_plan(0.0, 4, 40.0, 2, /*flexible=*/false));
   const WorkloadMetrics metrics = driver.run();
   EXPECT_EQ(metrics.bytes_redistributed, 0u);
-  EXPECT_EQ(metrics.redistribution_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.redistribution_seconds, 0.0);
 }
 
 TEST(Driver, QueuedJobTriggersShrinkOfRunningJob) {
@@ -266,12 +266,12 @@ TEST(Driver, EmptyWorkloadMetricsAreZeroNotNaN) {
   WorkloadDriver driver(engine, small_config(8));
   const WorkloadMetrics probed = driver.collect_metrics();
   EXPECT_EQ(probed.jobs, 0);
-  EXPECT_EQ(probed.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(probed.utilization, 0.0);
   EXPECT_FALSE(std::isnan(probed.utilization));
   const WorkloadMetrics metrics = driver.run();
   EXPECT_EQ(metrics.jobs, 0);
-  EXPECT_EQ(metrics.makespan, 0.0);
-  EXPECT_EQ(metrics.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization, 0.0);
   EXPECT_FALSE(std::isnan(metrics.utilization));
   EXPECT_FALSE(std::isnan(metrics.wait.mean));
 }

@@ -328,16 +328,16 @@ TEST(MemberMix, ParsesHomogeneousAndHeterogeneousGroups) {
   EXPECT_EQ(mix.total(), 26);
   EXPECT_EQ(mix.groups[0].count, 16);
   EXPECT_EQ(mix.groups[0].nodes, 64);
-  EXPECT_EQ(mix.groups[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(mix.groups[0].speed, 1.0);
   EXPECT_EQ(mix.groups[0].name, "m0");  // default group name
   EXPECT_EQ(mix.groups[1].count, 8);
   EXPECT_EQ(mix.groups[1].nodes, 128);
-  EXPECT_EQ(mix.groups[1].speed, 0.6);
+  EXPECT_DOUBLE_EQ(mix.groups[1].speed, 0.6);
   ASSERT_EQ(mix.groups[2].partitions.size(), 2u);
   EXPECT_EQ(mix.groups[2].partitions[0].name, "fast");
   EXPECT_EQ(mix.groups[2].partitions[0].nodes, 16);
-  EXPECT_EQ(mix.groups[2].partitions[0].speed, 1.25);
-  EXPECT_EQ(mix.groups[2].partitions[1].speed, 1.0);  // default
+  EXPECT_DOUBLE_EQ(mix.groups[2].partitions[0].speed, 1.25);
+  EXPECT_DOUBLE_EQ(mix.groups[2].partitions[1].speed, 1.0);  // default
 }
 
 TEST(MemberMix, RejectsMalformedSpecs) {
@@ -376,14 +376,14 @@ TEST(MemberMix, DefaultMixReproducesTheHistoricalCycle) {
   ASSERT_EQ(beta.rms.partitions.size(), 2u);
   EXPECT_EQ(beta.rms.partitions[0].name, "fast");
   EXPECT_EQ(beta.rms.partitions[0].nodes, 16);
-  EXPECT_EQ(beta.rms.partitions[0].speed, 1.25);
+  EXPECT_DOUBLE_EQ(beta.rms.partitions[0].speed, 1.25);
   EXPECT_EQ(beta.rms.partitions[1].name, "slow");
   const fed::ClusterSpec gamma = fed::member_spec(mix, 2);
   EXPECT_EQ(gamma.name, "gamma");
   ASSERT_EQ(gamma.rms.partitions.size(), 1u);
   EXPECT_EQ(gamma.rms.partitions[0].name, "g");
   EXPECT_EQ(gamma.rms.partitions[0].nodes, 12);
-  EXPECT_EQ(gamma.rms.partitions[0].speed, 0.8);
+  EXPECT_DOUBLE_EQ(gamma.rms.partitions[0].speed, 0.8);
   // Cycling past the mix numbers the names the way the sweep always did.
   EXPECT_EQ(fed::member_spec(mix, 3).name, "alpha2");
   EXPECT_EQ(fed::member_spec(mix, 4).name, "beta2");
@@ -403,7 +403,7 @@ TEST(MemberMix, MultiCountGroupsNumberEveryMember) {
   const fed::ClusterSpec spec = fed::member_spec(slow, 0);
   ASSERT_EQ(spec.rms.partitions.size(), 1u);
   EXPECT_EQ(spec.rms.partitions[0].nodes, 128);
-  EXPECT_EQ(spec.rms.partitions[0].speed, 0.6);
+  EXPECT_DOUBLE_EQ(spec.rms.partitions[0].speed, 0.6);
   // Member specs feed a real federation.
   fed::FederationConfig config;
   config.clusters = {fed::member_spec(mix, 0), fed::member_spec(mix, 1),

@@ -209,11 +209,11 @@ TEST(TraceRecorder, AttachedObservabilityNeverPerturbsOutcomes) {
 TEST(Registry, SetAddValueSnapshot) {
   obs::Registry registry;
   EXPECT_FALSE(registry.has("a"));
-  EXPECT_EQ(registry.value("a"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.value("a"), 0.0);
   registry.set("a", 2.0);
   registry.add("a", 3.0);
   registry.add("b.c", 1.5);
-  EXPECT_EQ(registry.value("a"), 5.0);
+  EXPECT_DOUBLE_EQ(registry.value("a"), 5.0);
   EXPECT_TRUE(registry.has("b.c"));
   EXPECT_EQ(registry.size(), 2u);
   const auto snapshot = registry.snapshot();

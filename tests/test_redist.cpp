@@ -409,7 +409,7 @@ TEST(CostModelFeedback, ObserveCalibratesNetworkBandwidth) {
   report.seconds = 1.0;  // 1 MiB/s: a much slower fabric than nominal
   model.observe(report);
   EXPECT_GT(model.measured_network_bw, 0.0);
-  EXPECT_EQ(model.measured_checkpoint_bw, 0.0);
+  EXPECT_DOUBLE_EQ(model.measured_checkpoint_bw, 0.0);
   const double calibrated = model.reconfigure_seconds(1 << 30, 4, 8);
   EXPECT_GT(calibrated, nominal);
 
@@ -452,7 +452,7 @@ TEST(CostModelFeedback, CheckpointReportsCalibrateTheCrLane) {
   report.via_checkpoint = true;
   model.observe(report);
   EXPECT_GT(model.measured_checkpoint_bw, 0.0);
-  EXPECT_EQ(model.measured_network_bw, 0.0);
+  EXPECT_DOUBLE_EQ(model.measured_network_bw, 0.0);
   const auto moved = model.movement(5 << 20, 4, 2);
   EXPECT_TRUE(moved.via_checkpoint);
   // 2 * 5 MiB at the measured 5 MiB/s => 2 s.

@@ -133,9 +133,9 @@ TEST(WindowedHistogram, QuantilesWithinBucketResolution) {
 
 TEST(WindowedHistogram, EmptyWindowIsZeroNotNaN) {
   svc::WindowedHistogram hist(3);
-  EXPECT_EQ(hist.quantile(0.5), 0.0);
-  EXPECT_EQ(hist.quantile(0.99), 0.0);
-  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
   EXPECT_FALSE(std::isnan(hist.quantile(0.95)));
 }
 
@@ -151,7 +151,7 @@ TEST(WindowedHistogram, RotationExpiresOldObservations) {
   EXPECT_LT(hist.quantile(0.99), 2.0);
   hist.rotate();
   EXPECT_EQ(hist.count(), 0u);
-  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
 }
 
 TEST(MetricsWindow, RejectsPeriodWiderThanWindow) {
@@ -164,8 +164,8 @@ TEST(MetricsWindow, EmptySampleIsAllZeros) {
   svc::MetricsSample sample;
   window.fill(sample);
   EXPECT_EQ(sample.completed_in_window, 0);
-  EXPECT_EQ(sample.wait_p99, 0.0);
-  EXPECT_EQ(sample.reconfigs_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(sample.wait_p99, 0.0);
+  EXPECT_DOUBLE_EQ(sample.reconfigs_per_second, 0.0);
   EXPECT_FALSE(std::isnan(sample.wait_mean));
   EXPECT_FALSE(std::isnan(sample.response_p95));
 }

@@ -162,7 +162,7 @@ TEST(Summary, PercentilesOfKnownData) {
 TEST(Summary, EmptyInputIsZeroed) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
-  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
 TEST(Histogram, BinsAndOverflow) {

@@ -1,0 +1,9 @@
+// dmr-lint-fixture: path=src/apps/verify.cpp
+//
+// The float-equal rule is scoped to tests/: the same macro shapes are
+// clean elsewhere.  Zero expectations.
+
+void assert_shapes(double x) {
+  EXPECT_EQ(x, 1.0);
+  ASSERT_NE(x, -0.5);
+}

@@ -1,0 +1,17 @@
+// dmr-lint-fixture: path=tests/test_fixture.cpp
+//
+// Exact equality against float literals in tests, plus the shapes that
+// must stay clean (integers, EXPECT_DOUBLE_EQ, EXPECT_NEAR).
+
+void float_equal_cases(double x, double y, double z, int n) {
+  EXPECT_EQ(x, 1.0);               // expect(float-equal)
+  ASSERT_EQ(0.5, y);               // expect(float-equal)
+  EXPECT_NE(z, -2.5);              // expect(float-equal)
+  EXPECT_EQ(x, 1e-9);              // expect(float-equal)
+  ASSERT_NE(y, 3.f);               // expect(float-equal)
+  EXPECT_EQ(n, 3);                 // integers compare exactly: clean
+  EXPECT_EQ(n, 0x10);              // hex literal: clean
+  EXPECT_DOUBLE_EQ(x, 1.0);        // the sanctioned spelling: clean
+  EXPECT_NEAR(y, 0.25, 1e-12);     // tolerance compare: clean
+  EXPECT_EQ(x, y);                 // two expressions, no literal: clean
+}

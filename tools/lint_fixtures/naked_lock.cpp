@@ -1,0 +1,42 @@
+// dmr-lint-fixture: path=src/svc/guarded.cpp
+//
+// Bare mutex.lock() leaks the lock on any exception between lock() and
+// unlock(); RAII guards (including re-locking a declared guard object)
+// are the sanctioned spellings.
+#include <mutex>
+
+namespace dmr::svc {
+
+std::mutex mu;
+
+struct Channel {
+  std::mutex gate;
+  int depth = 0;
+};
+
+void naked(Channel* channel) {
+  mu.lock();             // expect(naked-lock)
+  channel->gate.lock();  // expect(naked-lock)
+  ++channel->depth;
+  channel->gate.unlock();
+  mu.unlock();
+}
+
+void guarded(Channel& channel) {
+  const std::lock_guard<std::mutex> lock(channel.gate);
+  ++channel.depth;
+}
+
+void deferred(Channel& channel) {
+  std::unique_lock<std::mutex> lk(channel.gate, std::defer_lock);
+  lk.lock();  // re-locking a declared guard: clean
+  ++channel.depth;
+}
+
+void deferred_ctad(Channel& channel) {
+  std::unique_lock lk2(channel.gate, std::defer_lock);
+  lk2.lock();  // CTAD guard declaration: clean
+  ++channel.depth;
+}
+
+}  // namespace dmr::svc

@@ -1,0 +1,21 @@
+// dmr-lint-fixture: path=src/util/sanctioned.cpp
+//
+// An allow directive silences a diagnostic on the same line or the line
+// below.  Both placements; zero expectations.
+#include <chrono>
+
+namespace dmr::util {
+
+double same_line() {
+  const auto t0 = std::chrono::steady_clock::now();  // dmr-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+double next_line() {
+  return std::chrono::duration<double>(
+             // dmr-lint: allow(wall-clock)
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dmr::util

@@ -1,0 +1,19 @@
+// dmr-lint-fixture: path=src/drv/notes.cpp
+//
+// Unresolved-work markers must carry an issue tag to stay actionable.
+
+namespace dmr::drv {
+
+// TODO tighten the retry budget here -- expect(todo-issue)
+int retry_budget() { return 3; }
+
+// FIXME the ceiling is a guess -- expect(todo-issue)
+int ceiling() { return 64; }
+
+// TODO(#142): fold into retry_budget once the sweep lands.  Clean.
+int floor_budget() { return 1; }
+
+// FIXME(#9) drop after the federation refactor.  Clean.
+int legacy() { return 0; }
+
+}  // namespace dmr::drv

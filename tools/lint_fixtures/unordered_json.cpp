@@ -1,0 +1,58 @@
+// dmr-lint-fixture: path=src/obs/emit.cpp
+//
+// Iterating an unordered container while writing JSON leaks hash order
+// into the output bytes.  Detection by function name ("json") and by a
+// JSON key signature in a body string literal; ordered containers and
+// non-writer functions stay clean.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dmr::obs {
+
+std::unordered_map<std::string, long> counts;
+std::unordered_set<std::string> tags;
+std::map<std::string, long> ordered;
+
+std::string write_json() {
+  std::string out = "{";
+  for (const auto& [key, value] : counts) {  // expect(unordered-json)
+    out += "\"" + key + "\":" + std::to_string(value) + ",";
+  }
+  out += "}";
+  return out;
+}
+
+std::string dump_metrics() {
+  // No "json" in the name, but the literal below carries a key
+  // signature, so this is still a writer.
+  std::string out = "{\"metrics\":[";
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // expect(unordered-json)
+    out += it->first;
+  }
+  for (const std::string& tag : tags) {  // expect(unordered-json)
+    out += tag;
+  }
+  return out + "]}";
+}
+
+std::string sorted_json() {
+  // Ordered container: iteration order is deterministic, clean.
+  std::string out = "{";
+  for (const auto& [key, value] : ordered) {
+    out += "\"" + key + "\":" + std::to_string(value) + ",";
+  }
+  return out + "}";
+}
+
+long tally() {
+  // Iterates unordered state but writes no JSON: clean.
+  long total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value + static_cast<long>(key.size());
+  }
+  return total;
+}
+
+}  // namespace dmr::obs

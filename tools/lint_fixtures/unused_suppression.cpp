@@ -1,0 +1,14 @@
+// dmr-lint-fixture: path=src/util/stale.cpp
+//
+// A suppression that silences nothing is itself an error (it rots), and
+// so is naming a rule that does not exist.
+
+namespace dmr::util {
+
+// dmr-lint: allow(naked-lock) -- expect(unused-suppression)
+int nothing_to_silence() { return 7; }
+
+// dmr-lint: allow(frobnicate) -- expect(unused-suppression)
+int unknown_rule() { return 8; }
+
+}  // namespace dmr::util

@@ -1,0 +1,18 @@
+// dmr-lint-fixture: path=src/obs/clock_probe.cpp
+//
+// The obs:: layer owns real-time measurement: the same clock reads that
+// fire in src/sched must be clean here.  Zero expectations.
+#include <chrono>
+#include <ctime>
+
+namespace dmr::obs {
+
+double probe_wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::time_t provenance_stamp() { return std::time(nullptr); }
+
+}  // namespace dmr::obs

@@ -1,0 +1,14 @@
+// dmr-lint-fixture: path=bench/timing_probe.cpp
+//
+// Benches time real work: steady_clock is fine outside src/ + include/ +
+// examples/.  Zero expectations.
+#include <chrono>
+
+namespace dmr::bench {
+
+double elapsed_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace dmr::bench

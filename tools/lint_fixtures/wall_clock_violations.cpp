@@ -1,0 +1,24 @@
+// dmr-lint-fixture: path=src/sched/retry.cpp
+//
+// Every spelling of the wall-clock rule must fire in simulation code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace dmr::sched {
+
+double jittered_backoff(int attempt) {
+  const auto t0 = std::chrono::steady_clock::now();   // expect(wall-clock)
+  const auto wall = std::chrono::system_clock::now(); // expect(wall-clock)
+  std::srand(static_cast<unsigned>(attempt));         // expect(wall-clock)
+  const int jitter = std::rand() % 7;                 // expect(wall-clock)
+  const std::time_t a = std::time(nullptr);           // expect(wall-clock)
+  const std::time_t b = std::time(0);                 // expect(wall-clock)
+  (void)t0;
+  (void)wall;
+  (void)a;
+  (void)b;
+  return attempt + jitter;
+}
+
+}  // namespace dmr::sched
