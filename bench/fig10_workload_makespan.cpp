@@ -3,7 +3,12 @@
 //
 // Paper gains: 46.48% (50), 49.04% (100), 41.42% (200), 41.97% (400) —
 // flexible cuts the total workload time by >40%.
+//
+// --attr-json FILE records the wait-attribution sidecar for the first
+// flexible run (50 jobs) so `dmr_explain --job ID` can name the concrete
+// blocking cause behind any wait in the replay.
 #include <cstdio>
+#include <exception>
 
 #include "common.hpp"
 #include "dmr/util.hpp"
@@ -14,8 +19,12 @@ int main(int argc, char** argv) {
 
   // --quick runs scaled-down iteration counts (CI-friendly).
   double scale = 1.0;
+  std::string attr_json;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") scale = 0.1;
+    if (std::string(argv[i]) == "--attr-json" && i + 1 < argc) {
+      attr_json = argv[++i];
+    }
   }
 
   bench::print_header("Fig. 10",
@@ -23,6 +32,8 @@ int main(int argc, char** argv) {
 
   TableWriter table({"Jobs", "Fixed (s)", "Flexible (s)", "Gain",
                      "Shrinks", "Expands"});
+  obs::WaitAttributor attributor;
+  bool attributed = false;
   for (int jobs : {50, 100, 200, 400}) {
     bench::RealisticWorkloadOptions options;
     options.jobs = jobs;
@@ -31,7 +42,12 @@ int main(int argc, char** argv) {
     options.flexible = false;
     const auto fixed = bench::run_realistic_workload(options);
     options.flexible = true;
+    if (!attr_json.empty() && !attributed) {
+      options.hooks.attr = &attributor;
+      attributed = true;
+    }
     const auto flexible = bench::run_realistic_workload(options);
+    options.hooks.attr = nullptr;
     // Incremental-scheduler telemetry in bench-JSON form: passes that
     // actually ran vs. the passes the former run-on-every-mutation
     // design would have executed (passes + saved).
@@ -59,5 +75,16 @@ int main(int argc, char** argv) {
   std::printf("(paper: gains 46.48%% / 49.04%% / 41.42%% / 41.97%% — the "
               "flexible workload completes in well under 60%% of the fixed "
               "time)\n");
+  if (attributed) {
+    try {
+      attributor.write_file(attr_json);
+      std::fprintf(stderr,
+                   "fig10: attribution (flexible, 50 jobs) -> %s: %zu jobs\n",
+                   attr_json.c_str(), attributor.jobs().size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fig10: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -19,7 +19,18 @@
 //
 // Usage:  sweep [jobs=N] [seeds=N] [threads=N] [steps=N] [load=F]
 //               [clusters=N | --clusters N] [--members SPEC]
-//               [--swf FILE | swf=FILE] [--append-json FILE] [smoke]
+//               [--swf FILE | swf=FILE] [--append-json FILE]
+//               [--trace FILE] [--trace-cell INDEX] [--attr]
+//               [--attr-json FILE] [smoke]
+//   --trace FILE       record the traced cell's Chrome trace timeline
+//   --trace-cell INDEX which grid cell --trace / --attr-json single out
+//                      (default 0; out-of-range indices are an error)
+//   --attr             attach a wait attributor to every scenario and
+//                      emit wait_cause_* columns per line (opt-in: the
+//                      default sweep stays hook-free for the perf
+//                      trajectory)
+//   --attr-json FILE   write the traced cell's attribution sidecar
+//                      (tools/dmr_explain input)
 //   smoke      CI mode: a small trace, 1 seed, 2 threads (with
 //              clusters=N: 2 members x 2 placements, the ctest/CI
 //              federation smoke)
@@ -119,8 +130,11 @@ struct SweepOptions {
   std::string swf;  // non-empty = replay this SWF trace
   std::string members = fed::kDefaultMemberMix;  // federation member mix
   std::string append_json;  // non-empty = append the summary line here
-  std::string trace;        // non-empty = record scenario 0's timeline here
+  std::string trace;        // non-empty = record the traced cell's timeline
   std::string engine_json;  // non-empty = append a profiled engine row here
+  int trace_cell = 0;  // which grid cell --trace / --attr-json single out
+  bool attr = false;   // per-scenario wait attribution (wait_cause_* columns)
+  std::string attr_json;  // non-empty = write the traced cell's sidecar here
 };
 
 /// SWF mode: one trace shaped onto one target cluster, computed once in
@@ -227,6 +241,13 @@ std::string run_scenario(const Scenario& scenario, obs::Hooks hooks,
 
   chk::Auditor auditor;
   if (scenario.options.audit) hooks.auditor = &auditor;
+  // --attr: one attributor per scenario (scenarios run on worker threads;
+  // the attributor is simulation-thread-only).  The singled-out trace
+  // cell may already carry the sweep-wide sidecar attributor instead.
+  obs::WaitAttributor attributor;
+  if (scenario.options.attr && hooks.attr == nullptr) {
+    hooks.attr = &attributor;
+  }
 
   sim::Engine engine;
   drv::DriverConfig config;
@@ -367,6 +388,13 @@ std::string run_scenario(const Scenario& scenario, obs::Hooks hooks,
           << "\":" << federation.placements()[static_cast<std::size_t>(c)];
     }
   }
+  if (scenario.options.attr) {
+    // Wait decomposition columns; the wait_cause_* seconds sum to the
+    // completed jobs' total wait.
+    for (const auto& cause : metrics.wait_causes) {
+      out << ",\"wait_cause_" << cause.key << "\":" << cause.seconds;
+    }
+  }
   out << ",\"wait_mean\":" << metrics.wait.mean
       << ",\"wait_p95\":" << metrics.wait.p95
       << ",\"wait_max\":" << metrics.wait.max
@@ -427,6 +455,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       options.trace = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--trace-cell") == 0 && i + 1 < argc &&
+               std::sscanf(argv[i + 1], "%llu", &value) == 1) {
+      options.trace_cell = static_cast<int>(value);
+      ++i;
+    } else if (std::strcmp(argv[i], "--attr") == 0) {
+      options.attr = true;
+    } else if (std::strcmp(argv[i], "--attr-json") == 0 && i + 1 < argc) {
+      options.attr_json = argv[i + 1];
+      ++i;
     } else if (std::strcmp(argv[i], "--engine-json") == 0 && i + 1 < argc) {
       options.engine_json = argv[i + 1];
       ++i;
@@ -437,7 +474,9 @@ int main(int argc, char** argv) {
                    "usage: %s [jobs=N] [seeds=N] [threads=N] [steps=N] "
                    "[load=F] [clusters=N | --clusters N] [--members SPEC] "
                    "[--swf FILE | swf=FILE] [--append-json FILE] "
-                   "[--trace FILE] [--engine-json FILE] [--audit] [smoke]\n",
+                   "[--trace FILE] [--trace-cell INDEX] [--attr] "
+                   "[--attr-json FILE] [--engine-json FILE] [--audit] "
+                   "[smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -582,6 +621,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The singled-out grid cell --trace / --attr-json record.  Validated
+  // against the real grid: silently tracing nothing (or cell 0 when the
+  // user asked for 57) would misrepresent the run.
+  if (options.trace_cell < 0 ||
+      static_cast<std::size_t>(options.trace_cell) >= scenarios.size()) {
+    std::fprintf(
+        stderr,
+        "sweep: --trace-cell %d out of range (grid has %zu cells, valid "
+        "indices 0..%zu)\n",
+        options.trace_cell, scenarios.size(), scenarios.size() - 1);
+    return 2;
+  }
+
   // Thread pool over the scenario list: scenarios are fully independent
   // (own engine, managers, driver, RNG), so workers share nothing but the
   // next-index counter.  Output is buffered per scenario and printed in
@@ -594,6 +646,7 @@ int main(int argc, char** argv) {
   // rather than an interleaving of independent simulated clocks.
   obs::TraceRecorder trace_recorder;
   obs::Profiler profiler;
+  obs::WaitAttributor cell_attributor;  // --attr-json, traced cell only
   AuditTotals audit;
   const double start = util::wall_seconds();
   std::vector<std::thread> workers;
@@ -607,8 +660,9 @@ int main(int argc, char** argv) {
         if (index >= scenarios.size()) return;
         obs::Hooks hooks;
         if (!options.engine_json.empty()) hooks.profiler = &profiler;
-        if (index == 0 && !options.trace.empty()) {
-          hooks.trace = &trace_recorder;
+        if (index == static_cast<std::size_t>(options.trace_cell)) {
+          if (!options.trace.empty()) hooks.trace = &trace_recorder;
+          if (!options.attr_json.empty()) hooks.attr = &cell_attributor;
         }
         lines[index] = run_scenario(scenarios[index], hooks, &audit);
       }
@@ -620,10 +674,23 @@ int main(int argc, char** argv) {
   if (!options.trace.empty()) {
     try {
       trace_recorder.write_file(options.trace);
-      std::fprintf(stderr, "sweep: trace (scenario 0) -> %s: %zu events, "
+      std::fprintf(stderr, "sweep: trace (scenario %d) -> %s: %zu events, "
                    "%llu dropped\n",
-                   options.trace.c_str(), trace_recorder.recorded(),
+                   options.trace_cell, options.trace.c_str(),
+                   trace_recorder.recorded(),
                    static_cast<unsigned long long>(trace_recorder.dropped()));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sweep: %s\n", error.what());
+      return 1;
+    }
+  }
+  if (!options.attr_json.empty()) {
+    try {
+      cell_attributor.write_file(options.attr_json);
+      std::fprintf(stderr, "sweep: attribution (scenario %d) -> %s: %zu "
+                   "jobs\n",
+                   options.trace_cell, options.attr_json.c_str(),
+                   cell_attributor.jobs().size());
     } catch (const std::exception& error) {
       std::fprintf(stderr, "sweep: %s\n", error.what());
       return 1;

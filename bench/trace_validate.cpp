@@ -49,13 +49,8 @@ int main(int argc, char** argv) {
     const dmr::obs::TraceValidation result =
         dmr::obs::validate_trace_file(file);
     bool ok = result.ok;
+    // describe() already carries the per-error/-warning lines.
     std::printf("%s: %s\n", file.c_str(), result.describe().c_str());
-    for (const std::string& warning : result.warnings) {
-      std::printf("  warning: %s\n", warning.c_str());
-    }
-    for (const std::string& error : result.errors) {
-      std::printf("  error: %s\n", error.c_str());
-    }
     if (ok && result.counter_tracks < min_counter_tracks) {
       std::printf("  error: %d counter track(s), expected >= %d\n",
                   result.counter_tracks, min_counter_tracks);

@@ -9,13 +9,17 @@
 //    decisions, counter tracks), and
 //  - a wall-clock self-profile (events/sec, time in schedule vs
 //    placement vs redistribution, peak RSS) whose JSON rows build the
-//    BENCH_engine.json trajectory.
+//    BENCH_engine.json trajectory, and
+//  - with an obs::WaitAttributor attached, a per-job wait decomposition
+//    (typed BlockReason segments whose seconds sum exactly to the wait)
+//    written as the sidecar tools/dmr_explain ingests.
 // obs::Registry is the one named counter surface every subsystem's
 // ad-hoc tallies are mirrored into (WorkloadDriver::fill_counters,
 // svc::Service::counters()).
 #pragma once
 
 #include "dmr/build_info.hpp"  // IWYU pragma: export
+#include "obs/attr.hpp"        // IWYU pragma: export
 #include "obs/hooks.hpp"       // IWYU pragma: export
 #include "obs/profiler.hpp"    // IWYU pragma: export
 #include "obs/registry.hpp"    // IWYU pragma: export

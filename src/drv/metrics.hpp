@@ -37,6 +37,15 @@ struct ClusterMetrics {
   long long aborted_expands = 0;
 };
 
+/// Aggregate seconds jobs spent waiting on one typed block cause
+/// (obs::BlockReason), keyed by its JSON column name ("easy_reservation",
+/// "insufficient_idle", ...).  Filled only when an obs::WaitAttributor is
+/// attached; the entries sum to the total completed-job wait.
+struct WaitCause {
+  std::string key;
+  double seconds = 0.0;
+};
+
 struct WorkloadMetrics {
   double makespan = 0.0;
   /// Time-weighted average of (allocated nodes / cluster nodes) over
@@ -53,6 +62,8 @@ struct WorkloadMetrics {
   util::Summary wait;        // "Avg. job waiting time"
   util::Summary execution;   // "Avg. job execution time"
   util::Summary completion;  // "Avg. job completion time"
+  /// Wait decomposition by cause (empty without an attached attributor).
+  std::vector<WaitCause> wait_causes;
   int jobs = 0;
   long long expands = 0;
   long long shrinks = 0;

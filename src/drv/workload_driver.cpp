@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "chk/auditor.hpp"
+#include "obs/attr.hpp"
 #include "util/log.hpp"
 
 namespace dmr::drv {
@@ -327,6 +328,15 @@ void WorkloadDriver::fill_counters(obs::Registry& registry) const {
   registry.set("drv.redist.bytes",
                static_cast<double>(bytes_redistributed_));
   registry.set("drv.redist.seconds", redistribution_seconds_);
+  if (config_.hooks.attr != nullptr) {
+    const std::vector<double> totals = config_.hooks.attr->cause_totals();
+    for (int r = 0; r < obs::kBlockReasonCount; ++r) {
+      registry.set(
+          std::string("attr.wait.") +
+              obs::block_reason_key(static_cast<obs::BlockReason>(r)),
+          totals[static_cast<std::size_t>(r)]);
+    }
+  }
   for (int c = 0; c < federation_.cluster_count(); ++c) {
     registry.set(
         "fed.placements." + federation_.cluster_name(c),
@@ -376,6 +386,16 @@ WorkloadMetrics WorkloadDriver::collect_metrics() const {
   metrics.schedule_passes_saved = counters.schedule_passes_saved;
   metrics.bytes_redistributed = bytes_redistributed_;
   metrics.redistribution_seconds = redistribution_seconds_;
+  if (config_.hooks.attr != nullptr) {
+    const std::vector<double> totals = config_.hooks.attr->cause_totals();
+    metrics.wait_causes.reserve(static_cast<std::size_t>(
+        obs::kBlockReasonCount));
+    for (int r = 0; r < obs::kBlockReasonCount; ++r) {
+      metrics.wait_causes.push_back(WaitCause{
+          obs::block_reason_key(static_cast<obs::BlockReason>(r)),
+          totals[static_cast<std::size_t>(r)]});
+    }
+  }
   return metrics;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "chk/auditor.hpp"
+#include "obs/attr.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -151,10 +152,32 @@ JobId Federation::submit(JobSpec spec, double now) {
   DMR_DEBUG("fed") << "route '" << spec.name << "' (" << spec.requested_nodes
                    << " nodes) -> " << cluster_name(picked) << " via "
                    << policy_->name();
+  std::string placement_note;
+  if (hooks_.attr != nullptr) {
+    // Placement provenance: which policy routed where, the queue depth it
+    // saw there, and the members that could not hold the job at all.
+    placement_note = "policy=" + policy_->name() + " -> " +
+                     cluster_name(picked) + " queue_depth=" +
+                     std::to_string(
+                         all[static_cast<std::size_t>(picked)].pending_jobs);
+    std::string rejected;
+    for (const ClusterStatus& status : all) {
+      if (std::find(eligible.begin(), eligible.end(), status.index) !=
+          eligible.end()) {
+        continue;
+      }
+      if (!rejected.empty()) rejected += ",";
+      rejected += status.name;
+    }
+    if (!rejected.empty()) placement_note += " rejected=" + rejected;
+  }
   const JobId id =
       managers_[static_cast<std::size_t>(picked)]->submit(std::move(spec), now);
   if (hooks_.auditor != nullptr) {
     hooks_.auditor->on_placement(id, picked, kClusterIdStride, now);
+  }
+  if (hooks_.attr != nullptr) {
+    hooks_.attr->on_placement(id, picked, placement_note);
   }
   return id;
 }

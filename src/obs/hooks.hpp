@@ -3,15 +3,16 @@
 //
 // Every instrumented layer (sim::Engine, rms::Manager, fed::Federation,
 // drv::WorkloadDriver, dmr::redist strategies, svc::Service) holds a
-// copy of this three-pointer struct.  All pointers default to null, so
+// copy of this four-pointer struct.  All pointers default to null, so
 // an un-instrumented run pays exactly one pointer test per hook site —
 // the ≤2% overhead budget bench/engine_bench smoke mode asserts.  The
 // pointed-to recorder/profiler/auditor are owned by the caller (a bench,
 // a test, the sweep harness) and must outlive the run.
 //
-// The auditor is only forward-declared: layers that never call it (and
-// this header's other includers) stay decoupled from chk::, while the
-// layers that do report to it include chk/auditor.hpp themselves.
+// The auditor and the wait attributor are only forward-declared: layers
+// that never call them (and this header's other includers) stay
+// decoupled, while the layers that do report include chk/auditor.hpp or
+// obs/attr.hpp themselves.
 #pragma once
 
 #include "obs/profiler.hpp"
@@ -24,15 +25,22 @@ class Auditor;
 
 namespace dmr::obs {
 
+class WaitAttributor;
+
 struct Hooks {
   TraceRecorder* trace = nullptr;
   Profiler* profiler = nullptr;
   /// Runtime invariant checker (chk::Auditor); attached runs machine-
   /// check lifecycle/conservation/ordering invariants as they execute.
   chk::Auditor* auditor = nullptr;
+  /// Wait-time attribution (obs::WaitAttributor); attached runs record a
+  /// typed BlockReason at every scheduler decision point and decompose
+  /// each job's wait into per-cause seconds that sum to the total.
+  WaitAttributor* attr = nullptr;
 
   bool any() const {
-    return trace != nullptr || profiler != nullptr || auditor != nullptr;
+    return trace != nullptr || profiler != nullptr || auditor != nullptr ||
+           attr != nullptr;
   }
 };
 

@@ -1,270 +1,18 @@
 #include "obs/validate.hpp"
 
-#include <cctype>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <set>
 #include <sstream>
-#include <vector>
+#include <utility>
+
+#include "obs/json.hpp"
 
 namespace dmr::obs {
 
 namespace {
 
-// --- a compact recursive-descent JSON reader --------------------------------
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
-      Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* field(const std::string& name) const {
-    for (const auto& [key, value] : fields) {
-      if (key == name) return &value;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  /// Parse one document; `error` is set (with an offset) on failure.
-  bool parse(JsonValue& out, std::string& error) {
-    skip_space();
-    if (!parse_value(out, error)) return false;
-    skip_space();
-    if (pos_ != text_.size()) {
-      error = fail("trailing content after the document");
-      return false;
-    }
-    return true;
-  }
-
- private:
-  std::string fail(const std::string& what) const {
-    return what + " at offset " + std::to_string(pos_);
-  }
-
-  void skip_space() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool parse_value(JsonValue& out, std::string& error) {
-    if (pos_ >= text_.size()) {
-      error = fail("unexpected end of document");
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(out, error);
-    if (c == '[') return parse_array(out, error);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::String;
-      return parse_string(out.text, error);
-    }
-    if (c == 't' || c == 'f') return parse_literal(out, error);
-    if (c == 'n') return parse_null(out, error);
-    return parse_number(out, error);
-  }
-
-  bool parse_object(JsonValue& out, std::string& error) {
-    out.kind = JsonValue::Kind::Object;
-    ++pos_;  // '{'
-    skip_space();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_space();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        error = fail("expected an object key");
-        return false;
-      }
-      std::string key;
-      if (!parse_string(key, error)) return false;
-      skip_space();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        error = fail("expected ':' after key '" + key + "'");
-        return false;
-      }
-      ++pos_;
-      skip_space();
-      JsonValue value;
-      if (!parse_value(value, error)) return false;
-      out.fields.emplace_back(std::move(key), std::move(value));
-      skip_space();
-      if (pos_ >= text_.size()) {
-        error = fail("unterminated object");
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      error = fail("expected ',' or '}' in object");
-      return false;
-    }
-  }
-
-  bool parse_array(JsonValue& out, std::string& error) {
-    out.kind = JsonValue::Kind::Array;
-    ++pos_;  // '['
-    skip_space();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_space();
-      JsonValue value;
-      if (!parse_value(value, error)) return false;
-      out.items.push_back(std::move(value));
-      skip_space();
-      if (pos_ >= text_.size()) {
-        error = fail("unterminated array");
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      error = fail("expected ',' or ']' in array");
-      return false;
-    }
-  }
-
-  bool parse_string(std::string& out, std::string& error) {
-    ++pos_;  // opening quote
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        if (pos_ + 1 >= text_.size()) break;
-        const char esc = text_[pos_ + 1];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (pos_ + 5 >= text_.size()) {
-              error = fail("truncated \\u escape");
-              return false;
-            }
-            // Recorder output is ASCII; decode the low byte.
-            const std::string hex = text_.substr(pos_ + 2, 4);
-            out.push_back(
-                static_cast<char>(std::stoi(hex, nullptr, 16) & 0xff));
-            pos_ += 4;
-            break;
-          }
-          default:
-            error = fail("bad escape character");
-            return false;
-        }
-        pos_ += 2;
-        continue;
-      }
-      out.push_back(c);
-      ++pos_;
-    }
-    error = fail("unterminated string");
-    return false;
-  }
-
-  bool parse_literal(JsonValue& out, std::string& error) {
-    out.kind = JsonValue::Kind::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out.boolean = false;
-      pos_ += 5;
-      return true;
-    }
-    error = fail("bad literal");
-    return false;
-  }
-
-  bool parse_null(JsonValue& out, std::string& error) {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out.kind = JsonValue::Kind::Null;
-      pos_ += 4;
-      return true;
-    }
-    error = fail("bad literal");
-    return false;
-  }
-
-  bool parse_number(JsonValue& out, std::string& error) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      error = fail("expected a value");
-      return false;
-    }
-    try {
-      out.kind = JsonValue::Kind::Number;
-      out.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      error = fail("bad number");
-      return false;
-    }
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
 // --- structural rules -------------------------------------------------------
-
-double number_of(const JsonValue* value, double fallback = 0.0) {
-  return value != nullptr && value->kind == JsonValue::Kind::Number
-             ? value->number
-             : fallback;
-}
-
-std::string string_of(const JsonValue* value) {
-  return value != nullptr && value->kind == JsonValue::Kind::String
-             ? value->text
-             : std::string();
-}
 
 struct TrackState {
   int depth = 0;
@@ -277,8 +25,7 @@ TraceValidation validate_trace(const std::string& json) {
   TraceValidation result;
   JsonValue root;
   std::string error;
-  JsonParser parser(json);
-  if (!parser.parse(root, error)) {
+  if (!parse_json(json, root, error)) {
     result.errors.push_back("JSON parse error: " + error);
     return result;
   }
@@ -288,7 +35,7 @@ TraceValidation validate_trace(const std::string& json) {
   }
   if (const JsonValue* other = root.field("otherData")) {
     result.dropped = static_cast<std::uint64_t>(
-        number_of(other->field("dropped_events")));
+        json_number(other->field("dropped_events")));
   }
   const JsonValue* events = root.field("traceEvents");
   if (events == nullptr || events->kind != JsonValue::Kind::Array) {
@@ -308,7 +55,7 @@ TraceValidation validate_trace(const std::string& json) {
       result.errors.push_back("event is not an object" + where());
       continue;
     }
-    const std::string ph = string_of(event.field("ph"));
+    const std::string ph = json_string(event.field("ph"));
     if (ph.size() != 1) {
       result.errors.push_back("missing or malformed ph" + where());
       continue;
@@ -320,9 +67,11 @@ TraceValidation validate_trace(const std::string& json) {
       continue;
     }
     const double ts = ts_field->number;
-    const auto pid = static_cast<std::uint32_t>(number_of(event.field("pid")));
-    const auto tid = static_cast<std::uint32_t>(number_of(event.field("tid")));
-    const std::string name = string_of(event.field("name"));
+    const auto pid =
+        static_cast<std::uint32_t>(json_number(event.field("pid")));
+    const auto tid =
+        static_cast<std::uint32_t>(json_number(event.field("tid")));
+    const std::string name = json_string(event.field("name"));
     // End events ("E" sync, "e" nestable async) close the span the
     // matching begin named; the format leaves their name optional.
     if (name.empty() && ph != "E" && ph != "e") {
@@ -365,7 +114,7 @@ TraceValidation validate_trace(const std::string& json) {
         }
         track.last_ts = ts;
         span_tracks.insert({pid, tid});
-        if (number_of(event.field("dur"), -1.0) < 0.0) {
+        if (json_number(event.field("dur"), -1.0) < 0.0) {
           result.errors.push_back("'X' event without a dur" + where());
         }
         ++result.spans;
@@ -374,8 +123,8 @@ TraceValidation validate_trace(const std::string& json) {
       case 'b':
       case 'n':
       case 'e': {
-        const std::string cat = string_of(event.field("cat"));
-        const std::string id = string_of(event.field("id"));
+        const std::string cat = json_string(event.field("cat"));
+        const std::string id = json_string(event.field("id"));
         if (cat.empty() || id.empty()) {
           result.errors.push_back("async event without cat/id" + where());
           break;
@@ -450,6 +199,15 @@ TraceValidation validate_trace(const std::string& json) {
   auto& sink = result.dropped > 0 ? result.warnings : result.errors;
   sink.insert(sink.end(), open.begin(), open.end());
 
+  // A structurally well-formed wrapper holding zero events validates
+  // every rule vacuously; a recorder that captured nothing is broken,
+  // not clean.
+  if (result.events == 0) {
+    result.errors.push_back(
+        "trace contains no events (an empty timeline passes every "
+        "structural rule vacuously; refusing to call it valid)");
+  }
+
   result.tracks = static_cast<int>(span_tracks.size());
   result.counter_tracks = static_cast<int>(counter_tracks.size());
   result.ok = result.errors.empty();
@@ -465,6 +223,11 @@ TraceValidation validate_trace_file(const std::string& path) {
   }
   std::ostringstream text;
   text << in.rdbuf();
+  if (text.str().empty()) {
+    TraceValidation result;
+    result.errors.push_back(path + " is empty (zero bytes, not a trace)");
+    return result;
+  }
   return validate_trace(text.str());
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "chk/auditor.hpp"
+#include "obs/attr.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -154,6 +155,11 @@ JobId Manager::submit(JobSpec spec, double now) {
   }
   mark_queue_changed();
   if (hooks_.auditor != nullptr) hooks_.auditor->on_job_submitted(id, now);
+  if (hooks_.attr != nullptr && !stored.spec.internal_resizer) {
+    // Resizer pseudo-jobs are excluded from attribution throughout: their
+    // wait is part of the parent's reconfiguration, not queueing.
+    hooks_.attr->on_job_submitted(id, stored.spec.name, now);
+  }
   if (hooks_.trace != nullptr && !stored.spec.internal_resizer) {
     hooks_.trace->async_begin(
         trace_pid_, now, "job", static_cast<std::uint64_t>(id),
@@ -176,6 +182,7 @@ void Manager::start_job(Job& job, double now) {
                    << " nodes at t=" << now;
   if (hooks_.auditor != nullptr) hooks_.auditor->on_job_started(job.id, now);
   if (!job.spec.internal_resizer) {
+    if (hooks_.attr != nullptr) hooks_.attr->on_job_started(job.id, now);
     for (const auto& cb : start_callbacks_) cb(job);
     if (hooks_.trace != nullptr) {
       hooks_.trace->async_instant(
@@ -240,7 +247,19 @@ std::vector<JobId> Manager::schedule(double now) {
       }
       view.idle_node_ids = cluster_.idle_node_ids();
     }
-    std::vector<Job*> to_start = schedule_pass(view, config_.scheduler);
+    std::vector<BlockDiag> blocked;
+    std::vector<Job*> to_start = schedule_pass(
+        view, config_.scheduler, hooks_.attr != nullptr ? &blocked : nullptr);
+    if (hooks_.attr != nullptr) {
+      // Report before the starts: a job diagnosed here and started by a
+      // later round of this same fixpoint only accrues a zero-length
+      // segment at `now`, which the attributor drops.
+      for (const BlockDiag& diag : blocked) {
+        if (diag.job->spec.internal_resizer) continue;
+        hooks_.attr->on_job_blocked(diag.job->id, now, diag.cause,
+                                    diag.blocker);
+      }
+    }
     Job* molded = nullptr;
     if (to_start.empty()) {
       // Moldable extension: when nothing rigid fits, the *head* job (and
@@ -299,6 +318,17 @@ std::vector<JobId> Manager::schedule(double now) {
       break;
     }
   }
+  if (hooks_.attr != nullptr) {
+    // Jobs the pass never saw: pending but ineligible because their
+    // dependency is not running yet (user-level depends_on chains; the
+    // resizer pseudo-jobs that also gate this way are excluded).
+    for (const Job* job : pending_jobs_) {
+      if (job->spec.internal_resizer || eligible(*job)) continue;
+      hooks_.attr->on_job_blocked(
+          job->id, now, obs::BlockReason::kDependency,
+          job->spec.depends_on ? *job->spec.depends_on : 0);
+    }
+  }
   if (instrumented) {
     const double wall = util::wall_seconds() - wall_start;
     if (hooks_.auditor != nullptr) hooks_.auditor->check_manager(*this, now);
@@ -331,6 +361,9 @@ void Manager::finish_job(Job& job, double now, JobState final_state) {
   job.state = final_state;
   job.end_time = now;
   if (hooks_.auditor != nullptr) hooks_.auditor->on_job_finished(job.id, now);
+  if (hooks_.attr != nullptr && !job.spec.internal_resizer) {
+    hooks_.attr->on_job_finished(job.id, now);
+  }
   if (hooks_.trace != nullptr && open_drain_spans_.erase(job.id) != 0) {
     // A job can end while still draining; close its drain span so the
     // trace stays balanced.

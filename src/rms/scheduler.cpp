@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/attr.hpp"
+
 namespace dmr::rms {
 
 namespace {
@@ -113,6 +115,74 @@ struct IdlePool {
   }
 };
 
+/// The running job whose expected release would cross the `needed`
+/// threshold (for BlockDiag attribution), found by the same release
+/// accumulation shadow_time performs.
+struct CriticalRelease {
+  const Job* owner = nullptr;
+  /// True when the crossing release is a draining-node release (at
+  /// `now`), i.e. the blocker is a job shrinking on the waiter's behalf.
+  bool draining = false;
+};
+
+CriticalRelease blocking_release(const ScheduleView& view, int needed,
+                                 int pool) {
+  const bool pooled = pool >= 0 && view.heterogeneous();
+  const auto in_pool = [&](int node_id) {
+    if (!pooled) return true;
+    return node_id >= 0 &&
+           view.node_partition[static_cast<std::size_t>(node_id)] == pool;
+  };
+  const auto is_draining = [&](int node_id) {
+    return node_id >= 0 && !view.node_draining.empty() &&
+           view.node_draining[static_cast<std::size_t>(node_id)] != 0;
+  };
+
+  struct Release {
+    double time;
+    JobId id;
+    const Job* owner;
+    int nodes;
+    bool draining;
+  };
+  std::vector<Release> releases;
+  releases.reserve(view.running.size() * 2);
+  for (const Job* job : view.running) {
+    int pool_nodes = 0;
+    int draining = 0;
+    for (int node_id : job->nodes) {
+      if (!in_pool(node_id)) continue;
+      ++pool_nodes;
+      if (is_draining(node_id)) ++draining;
+    }
+    if (draining > 0) {
+      releases.push_back(Release{view.now, job->id, job, draining, true});
+    }
+    if (pool_nodes - draining > 0) {
+      const double expected_end =
+          std::max(view.now, job->start_time + job->spec.time_limit);
+      releases.push_back(
+          Release{expected_end, job->id, job, pool_nodes - draining, false});
+    }
+  }
+  // Ties break by job id so the named blocker is deterministic.
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) {
+              return a.time != b.time ? a.time < b.time : a.id < b.id;
+            });
+  int free_nodes =
+      pooled ? view.idle_per_partition[static_cast<std::size_t>(pool)]
+             : view.idle_nodes;
+  if (free_nodes >= needed) return {};
+  for (const Release& release : releases) {
+    free_nodes += release.nodes;
+    if (free_nodes >= needed) {
+      return CriticalRelease{release.owner, release.draining};
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
@@ -174,7 +244,8 @@ double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
 }
 
 std::vector<Job*> schedule_pass(const ScheduleView& view,
-                                const SchedulerConfig& config) {
+                                const SchedulerConfig& config,
+                                std::vector<BlockDiag>* blocked) {
   std::vector<Job*> queue = view.pending;
   std::sort(queue.begin(), queue.end(),
             PendingOrder{view.now, config.weights});
@@ -182,7 +253,7 @@ std::vector<Job*> schedule_pass(const ScheduleView& view,
   std::vector<Job*> started;
   IdlePool pool(view, config.alloc);
   // Node ids granted to each started job (synthetic on a homogeneous
-  // cluster), for the shadow computation below.
+  // cluster), for the shadow and diagnosis computations below.
   std::vector<std::vector<int>> granted;
 
   // Start jobs FCFS until the head no longer fits.
@@ -192,65 +263,129 @@ std::vector<Job*> schedule_pass(const ScheduleView& view,
     started.push_back(queue[head]);
     ++head;
   }
-  if (head >= queue.size() || !config.backfill) return started;
-
-  // EASY reservation for the blocked head job, computed in the head's
-  // eligible pool (its partition, or the whole cluster when
-  // unconstrained).  The shadow computation must see the post-start idle
-  // count but the same running set: jobs we just chose to start have
-  // unknown end times only through their limits, so conservatively treat
-  // them as running from `now`.
-  Job* head_job = queue[head];
-  const int head_pool = view.heterogeneous() ? head_job->partition : -1;
-
-  ScheduleView shadow_view = view;
-  shadow_view.idle_nodes = pool.idle_total;
-  shadow_view.idle_per_partition = pool.idle_parts;
-  shadow_view.idle_node_ids = pool.idle_ids;
-  std::vector<Job> synthetic;
-  synthetic.reserve(started.size());
-  for (std::size_t i = 0; i < started.size(); ++i) {
-    Job copy = *started[i];
-    copy.start_time = view.now;
-    if (granted[i].empty()) {
-      copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes),
-                        kSyntheticNode);
-    } else {
-      copy.nodes = granted[i];
-    }
-    synthetic.push_back(std::move(copy));
+  if (head >= queue.size() || (!config.backfill && blocked == nullptr)) {
+    return started;
   }
-  for (const Job& job : synthetic) shadow_view.running.push_back(&job);
 
-  int extra_at_shadow = 0;
-  const double shadow = shadow_time(shadow_view, head_job->requested_nodes,
-                                    &extra_at_shadow, head_pool);
+  Job* head_job = queue[head];
+  if (config.backfill) {
+    // EASY reservation for the blocked head job, computed in the head's
+    // eligible pool (its partition, or the whole cluster when
+    // unconstrained).  The shadow computation must see the post-start
+    // idle count but the same running set: jobs we just chose to start
+    // have unknown end times only through their limits, so
+    // conservatively treat them as running from `now`.
+    const int head_pool = view.heterogeneous() ? head_job->partition : -1;
 
-  // Backfill: later jobs may start now if they fit and cannot delay the
-  // head — they complete before the shadow time, draw from a partition
-  // disjoint from the head's pool, or take no more of the head's pool
-  // than the backfill window (the nodes beyond the head's need free at
-  // the shadow time).
-  int backfill_window = extra_at_shadow;
-  for (std::size_t i = head + 1; i < queue.size(); ++i) {
-    Job* job = queue[i];
-    if (!pool.fits(*job)) continue;
-    const bool disjoint = head_pool >= 0 && job->partition >= 0 &&
-                          job->partition != head_pool;
-    const bool ends_before_shadow =
-        view.now + job->spec.time_limit <= shadow;
-    if (disjoint || ends_before_shadow) {
-      pool.take(*job);
-      started.push_back(job);
-      continue;
+    ScheduleView shadow_view = view;
+    shadow_view.idle_nodes = pool.idle_total;
+    shadow_view.idle_per_partition = pool.idle_parts;
+    shadow_view.idle_node_ids = pool.idle_ids;
+    std::vector<Job> synthetic;
+    synthetic.reserve(started.size());
+    for (std::size_t i = 0; i < started.size(); ++i) {
+      Job copy = *started[i];
+      copy.start_time = view.now;
+      if (granted[i].empty()) {
+        copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes),
+                          kSyntheticNode);
+      } else {
+        copy.nodes = granted[i];
+      }
+      synthetic.push_back(std::move(copy));
     }
-    // Nodes this job would take from the head's contended pool.
-    const int overlap = head_pool >= 0 ? pool.count_take_in(*job, head_pool)
-                                       : job->requested_nodes;
-    if (overlap > backfill_window) continue;
-    pool.take(*job);
-    backfill_window -= overlap;
-    started.push_back(job);
+    for (const Job& job : synthetic) shadow_view.running.push_back(&job);
+
+    int extra_at_shadow = 0;
+    const double shadow = shadow_time(shadow_view, head_job->requested_nodes,
+                                      &extra_at_shadow, head_pool);
+
+    // Backfill: later jobs may start now if they fit and cannot delay the
+    // head — they complete before the shadow time, draw from a partition
+    // disjoint from the head's pool, or take no more of the head's pool
+    // than the backfill window (the nodes beyond the head's need free at
+    // the shadow time).
+    int backfill_window = extra_at_shadow;
+    for (std::size_t i = head + 1; i < queue.size(); ++i) {
+      Job* job = queue[i];
+      if (!pool.fits(*job)) continue;
+      const bool disjoint = head_pool >= 0 && job->partition >= 0 &&
+                            job->partition != head_pool;
+      const bool ends_before_shadow =
+          view.now + job->spec.time_limit <= shadow;
+      if (disjoint || ends_before_shadow) {
+        granted.push_back(pool.take(*job));
+        started.push_back(job);
+        continue;
+      }
+      // Nodes this job would take from the head's contended pool.
+      const int overlap = head_pool >= 0 ? pool.count_take_in(*job, head_pool)
+                                         : job->requested_nodes;
+      if (overlap > backfill_window) continue;
+      granted.push_back(pool.take(*job));
+      backfill_window -= overlap;
+      started.push_back(job);
+    }
+  }
+
+  if (blocked != nullptr) {
+    // Diagnose every job still pending against the post-pass state: the
+    // remaining idle pool plus everything started this pass treated as
+    // running from `now` (same convention as the shadow computation).
+    ScheduleView diag_view = view;
+    diag_view.idle_nodes = pool.idle_total;
+    diag_view.idle_per_partition = pool.idle_parts;
+    diag_view.idle_node_ids = pool.idle_ids;
+    std::vector<Job> synthetic;
+    synthetic.reserve(started.size());
+    for (std::size_t i = 0; i < started.size(); ++i) {
+      Job copy = *started[i];
+      copy.start_time = view.now;
+      if (granted[i].empty()) {
+        copy.nodes.assign(static_cast<std::size_t>(copy.requested_nodes),
+                          kSyntheticNode);
+      } else {
+        copy.nodes = granted[i];
+      }
+      synthetic.push_back(std::move(copy));
+    }
+    for (const Job& job : synthetic) diag_view.running.push_back(&job);
+
+    for (std::size_t i = head; i < queue.size(); ++i) {
+      Job* job = queue[i];
+      if (std::find(started.begin(), started.end(), job) != started.end()) {
+        continue;
+      }
+      BlockDiag diag;
+      diag.job = job;
+      if (job != head_job && pool.fits(*job)) {
+        // Fits right now but may not start: held by the EASY reservation
+        // protecting the queue head (with backfill off, plain FCFS hold
+        // behind the head — the degenerate whole-pool reservation).
+        diag.cause = obs::BlockReason::kEasyReservation;
+        diag.blocker = head_job->id;
+      } else {
+        const int job_pool = view.heterogeneous() ? job->partition : -1;
+        const CriticalRelease crit =
+            blocking_release(diag_view, job->requested_nodes, job_pool);
+        if (job_pool >= 0 && pool.idle_total >= job->requested_nodes) {
+          // The cluster could hold it; the pinned partition cannot.
+          diag.cause = obs::BlockReason::kPartitionPinned;
+          diag.blocker = crit.owner != nullptr ? crit.owner->id : 0;
+        } else if (crit.owner != nullptr && crit.draining) {
+          // Unblocked by an in-progress drain: a boosted waiter is the
+          // job the shrink was started for (Algorithm 1 line 18).
+          diag.cause = job->priority_boost
+                           ? obs::BlockReason::kShrinkPending
+                           : obs::BlockReason::kDrainingWait;
+          diag.blocker = crit.owner->id;
+        } else {
+          diag.cause = obs::BlockReason::kInsufficientIdle;
+          diag.blocker = crit.owner != nullptr ? crit.owner->id : 0;
+        }
+      }
+      blocked->push_back(diag);
+    }
   }
   return started;
 }

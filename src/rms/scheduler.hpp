@@ -23,6 +23,10 @@
 #include "rms/job.hpp"
 #include "rms/priority.hpp"
 
+namespace dmr::obs {
+enum class BlockReason : int;
+}
+
 namespace dmr::rms {
 
 struct SchedulerConfig {
@@ -55,13 +59,28 @@ struct ScheduleView {
   bool heterogeneous() const { return !idle_per_partition.empty(); }
 };
 
+/// Why a pending job was left in the queue by one pass, diagnosed from
+/// the post-pass pool state.  `blocker` names the job holding the wait
+/// (the reserved head, the critical expected release, the draining
+/// shrink) or 0 when no single job is responsible.
+struct BlockDiag {
+  Job* job = nullptr;
+  obs::BlockReason cause{};  // zero value = kUnattributed
+  JobId blocker = 0;
+};
+
 /// Decide which pending jobs to start now, in start order.  Guarantees:
 ///  - total requested nodes of the result never exceeds idle_nodes (and,
 ///    per partition-constrained job, that partition's idle count);
 ///  - the highest-priority blocked job is never delayed by a backfilled
 ///    one (EASY reservation based on running jobs' expected releases).
+///
+/// With `blocked` non-null the pass additionally appends one BlockDiag
+/// per pending job it did not start, in priority order.  Diagnosis is
+/// observation only: the started set is byte-identical either way.
 std::vector<Job*> schedule_pass(const ScheduleView& view,
-                                const SchedulerConfig& config);
+                                const SchedulerConfig& config,
+                                std::vector<BlockDiag>* blocked = nullptr);
 
 /// Earliest time at which `needed` nodes are expected to be free in
 /// `pool` (a partition index, or -1 for the whole cluster), given current

@@ -106,7 +106,12 @@ std::string MetricsSample::to_json() const {
       << ",\"submitted_total\":" << submitted_total
       << ",\"rejected_full_total\":" << rejected_full_total
       << ",\"rejected_full_cum\":" << rejected_full_cum
-      << ",\"rejected_stale_total\":" << rejected_stale_total << "}";
+      << ",\"rejected_stale_total\":" << rejected_stale_total;
+  for (std::size_t c = 0; c < cause_seconds.size() && c < cause_keys.size();
+       ++c) {
+    out << ",\"wait_cause_" << cause_keys[c] << "\":" << cause_seconds[c];
+  }
+  out << "}";
   return out.str();
 }
 

@@ -89,6 +89,12 @@ struct MetricsSample {
   /// diffing windows.
   long long rejected_full_cum = 0;
   long long rejected_stale_total = 0;
+  /// Cumulative wait seconds per obs::BlockReason (enum-index order,
+  /// open segments counted up to sample time).  Empty when the service
+  /// runs without wait attribution; emitted as wait_cause_* JSON keys.
+  std::vector<double> cause_seconds;
+  /// Column key per cause_seconds entry ("easy_reservation", ...).
+  std::vector<std::string> cause_keys;
 
   std::string to_json() const;
 };

@@ -8,9 +8,29 @@
 
 namespace dmr::svc {
 
+namespace {
+
+/// The driver config the service actually runs: the caller's, with the
+/// service-owned attributor patched in when wait attribution is on and
+/// no external one was supplied.  config_ itself stays untouched so
+/// snapshots/forks never carry a dangling hook pointer.
+drv::DriverConfig attributed_driver(const ServiceConfig& config,
+                                    obs::WaitAttributor* attr) {
+  drv::DriverConfig patched = config.driver;
+  if (config.attribute_waits && patched.hooks.attr == nullptr) {
+    patched.hooks.attr = attr;
+  }
+  return patched;
+}
+
+}  // namespace
+
 Service::Service(ServiceConfig config)
     : config_(config),
-      driver_(engine_, config.driver),
+      attr_ptr_(config.driver.hooks.attr != nullptr
+                    ? config.driver.hooks.attr
+                    : (config.attribute_waits ? &attr_ : nullptr)),
+      driver_(engine_, attributed_driver(config, &attr_)),
       queue_(config.queue_capacity),
       window_(config.window, config.sample_period) {
   // Windowed collectors feed off the same RMS callbacks the trace uses.
@@ -120,6 +140,17 @@ void Service::take_sample() {
   sample.rejected_full_cum =
       static_cast<long long>(registry_.value("svc.ring.rejected_full"));
   sample.rejected_stale_total = rejected_stale_;
+  if (attr_ptr_ != nullptr) {
+    // Open segments count up to the sample instant so a live view shows
+    // waits as they accrue, not only after the job starts.
+    sample.cause_seconds = attr_ptr_->cause_totals(t1);
+    sample.cause_keys.reserve(
+        static_cast<std::size_t>(obs::kBlockReasonCount));
+    for (int r = 0; r < obs::kBlockReasonCount; ++r) {
+      sample.cause_keys.push_back(
+          obs::block_reason_key(static_cast<obs::BlockReason>(r)));
+    }
+  }
   if (obs::TraceRecorder* recorder = config_.driver.hooks.trace) {
     recorder->counter(0, t1, "ring depth", sample.ring_depth);
     recorder->counter(0, t1, "utilization", sample.utilization);

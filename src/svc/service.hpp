@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "drv/workload_driver.hpp"
+#include "obs/attr.hpp"
 #include "obs/registry.hpp"
 #include "svc/metrics_window.hpp"
 #include "svc/submit_queue.hpp"
@@ -48,6 +49,11 @@ struct ServiceConfig {
   double sample_period = 30.0;
   /// Sliding-window span the samples cover.
   double window = 300.0;
+  /// Attach the service-owned obs::WaitAttributor so samples carry
+  /// wait_cause_* decompositions (ignored when driver.hooks.attr is
+  /// already set by the caller).  Attribution is observation only; the
+  /// simulated outcome is identical either way.
+  bool attribute_waits = true;
 };
 
 class Service {
@@ -116,6 +122,9 @@ class Service {
 
   const drv::WorkloadDriver& driver() const { return driver_; }
   drv::WorkloadDriver& driver_mutable() { return driver_; }
+  /// The live wait attributor (caller-supplied or service-owned); null
+  /// when the service runs without attribution.
+  const obs::WaitAttributor* attribution() const { return attr_ptr_; }
   const ServiceConfig& config() const { return config_; }
   /// Accepted submissions in acceptance order (the snapshot log).
   const std::vector<JobRequest>& submission_log() const { return log_; }
@@ -137,6 +146,12 @@ class Service {
 
   ServiceConfig config_;
   sim::Engine engine_;
+  /// Service-owned attributor, wired into the driver's hooks when
+  /// attribute_waits is set and the caller supplied none.  Declared
+  /// before driver_: the driver's constructor reads the patched hooks.
+  obs::WaitAttributor attr_;
+  /// The effective attributor (caller-supplied wins); null when off.
+  obs::WaitAttributor* attr_ptr_ = nullptr;
   drv::WorkloadDriver driver_;
   SubmitQueue queue_;
   MetricsWindow window_;

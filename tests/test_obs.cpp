@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -155,6 +156,24 @@ TEST(TraceValidate, RejectsUnbalancedAsyncScope) {
 TEST(TraceValidate, RejectsMalformedJson) {
   EXPECT_FALSE(obs::validate_trace("this is not json").ok);
   EXPECT_FALSE(obs::validate_trace("{\"traceEvents\":42}").ok);
+}
+
+TEST(TraceValidate, RejectsZeroEventTimeline) {
+  // Every structural rule passes vacuously on an empty timeline, so the
+  // validator must refuse to call it valid.
+  const auto validation = obs::validate_trace(wrap_events(""));
+  EXPECT_FALSE(validation.ok);
+  ASSERT_FALSE(validation.errors.empty());
+  EXPECT_NE(validation.errors.front().find("no events"), std::string::npos);
+}
+
+TEST(TraceValidate, RejectsEmptyFile) {
+  const std::string path = testing::TempDir() + "dmr_empty_trace.json";
+  { std::ofstream touch(path); }
+  const auto validation = obs::validate_trace_file(path);
+  EXPECT_FALSE(validation.ok);
+  ASSERT_FALSE(validation.errors.empty());
+  EXPECT_NE(validation.errors.front().find("empty"), std::string::npos);
 }
 
 // --- ring overflow ----------------------------------------------------------

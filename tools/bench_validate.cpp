@@ -1,0 +1,130 @@
+// bench_validate — provenance checker for the BENCH_*.json trajectories.
+//
+// Every BENCH file is JSON-lines, one row per recorded run.  A row
+// without provenance (which commit, when, how many threads) is a number
+// nobody can reproduce, so this tool re-reads every row with the real
+// JSON parser (obs/json.hpp) and requires:
+//
+//   - the line parses as a JSON object,
+//   - "git_sha" is a non-empty string,
+//   - "timestamp" is a non-empty string,
+//   - "threads" is a number >= 1.
+//
+// Usage:  bench_validate FILE.json [FILE.json ...]
+//         bench_validate --dir DIR     validate every BENCH_*.json in DIR
+//
+// Exit status 0 iff every row of every file passes; a --dir with no
+// BENCH_*.json files is an error (a vacuous pass would hide a renamed
+// trajectory).  Wired as the bench_validate ctest and a CI step.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+/// Validate one JSON-lines file; prints per-row diagnostics, returns the
+/// number of bad rows.
+int validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("%s: error: unreadable\n", path.c_str());
+    return 1;
+  }
+  int bad = 0;
+  int rows = 0;
+  int line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++rows;
+    dmr::obs::JsonValue row;
+    std::string error;
+    if (!dmr::obs::parse_json(line, row, error)) {
+      std::printf("%s:%d: error: %s\n", path.c_str(), line_no, error.c_str());
+      ++bad;
+      continue;
+    }
+    if (row.kind != dmr::obs::JsonValue::Kind::Object) {
+      std::printf("%s:%d: error: row is not a JSON object\n", path.c_str(),
+                  line_no);
+      ++bad;
+      continue;
+    }
+    bool row_ok = true;
+    for (const char* key : {"git_sha", "timestamp"}) {
+      const dmr::obs::JsonValue* value = row.field(key);
+      if (value == nullptr ||
+          value->kind != dmr::obs::JsonValue::Kind::String ||
+          value->text.empty()) {
+        std::printf("%s:%d: error: missing or empty \"%s\" (string)\n",
+                    path.c_str(), line_no, key);
+        row_ok = false;
+      }
+    }
+    const dmr::obs::JsonValue* threads = row.field("threads");
+    if (threads == nullptr ||
+        threads->kind != dmr::obs::JsonValue::Kind::Number ||
+        !(threads->number >= 1.0)) {
+      std::printf("%s:%d: error: missing \"threads\" (number >= 1)\n",
+                  path.c_str(), line_no);
+      row_ok = false;
+    }
+    if (!row_ok) ++bad;
+  }
+  if (rows == 0) {
+    std::printf("%s: error: no rows (an empty trajectory proves nothing)\n",
+                path.c_str());
+    return 1;
+  }
+  if (bad == 0) {
+    std::printf("%s: %d row(s), provenance ok\n", path.c_str(), rows);
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      const std::filesystem::path dir = argv[++i];
+      std::error_code ec;
+      for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "bench_validate: %s: %s\n", dir.string().c_str(),
+                     ec.message().c_str());
+        return 1;
+      }
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s FILE.json ...\n       %s --dir DIR\n", argv[0],
+                   argv[0]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "bench_validate: no BENCH_*.json files found (give files "
+                 "or --dir)\n");
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  int bad = 0;
+  for (const std::string& file : files) bad += validate_file(file);
+  return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// dmr-lint-fixture: path=src/obs/attr_sidecar.cpp
+//
+// The attribution sidecar writer (obs::WaitAttributor::to_json) promises
+// sorted-key, deterministic bytes — dmr_explain --compare diffs two
+// sidecars, so hash-order output would show phantom regressions.  This
+// fixture mirrors the writer's shape: the per-job std::map iteration the
+// real writer uses stays clean, and the unordered variants a careless
+// refactor could introduce fire the rule.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace dmr::obs {
+
+struct JobAttr {
+  double submit = 0.0;
+  double start = -1.0;
+};
+
+std::map<long long, JobAttr> jobs_by_id;
+std::unordered_map<long long, JobAttr> jobs_by_hash;
+std::unordered_map<std::string, double> cause_seconds;
+
+std::string attribution_to_json() {
+  // The real writer: ordered ids, deterministic bytes.  Clean.
+  std::string out = "{\"dmr_attr\":1,\"jobs\":[";
+  for (const auto& [id, job] : jobs_by_id) {
+    out += "{\"id\":" + std::to_string(id) +
+           ",\"submit\":" + std::to_string(job.submit) + "}";
+  }
+  return out + "]}";
+}
+
+std::string attribution_to_json_unordered() {
+  // The refactor hazard: same document, hash-ordered rows.
+  std::string out = "{\"dmr_attr\":1,\"jobs\":[";
+  for (const auto& [id, job] : jobs_by_hash) {  // expect(unordered-json)
+    out += "{\"id\":" + std::to_string(id) +
+           ",\"submit\":" + std::to_string(job.submit) + "}";
+  }
+  return out + "]}";
+}
+
+std::string cause_totals_json() {
+  std::string out = "{\"causes\":{";
+  for (const auto& [name, seconds] : cause_seconds) {  // expect(unordered-json)
+    out += "\"" + name + "\":" + std::to_string(seconds) + ",";
+  }
+  return out + "}}";
+}
+
+}  // namespace dmr::obs
