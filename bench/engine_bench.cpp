@@ -17,16 +17,23 @@
 // what --append-json accumulates into BENCH_engine.json — the perf
 // trajectory every later optimization PR plots its speedup against.
 //
-// Usage:  engine_bench [jobs=N] [scale=F] [seed=N] [repeat=N]
+// Usage:  engine_bench [archive] [jobs=N] [scale=F] [seed=N] [repeat=N]
 //                      [--trace FILE] [--append-json FILE] [smoke]
+//   archive    replay a seeded Feitelson SWF trace (100k rigid jobs on
+//              1024 nodes by default — the make_swf | swf_replay path,
+//              in memory) instead of fig10: the event-engine stress
+//              workload, >1M calendar-queue events per run.  The
+//              profiled run attaches the Profiler only — recording a
+//              million-event timeline would dominate peak RSS.
 //   smoke      CI mode: a small scaled-down workload, plus a loose
 //              assertion that the detached-run spread stays under 25%
 //              (generous — smoke runs are milliseconds and noisy; the
 //              real <= 2% claim is checked on full runs by inspection)
-//   jobs=N     jobs in the workload (default 50, the paper's Section IX)
+//   jobs=N     jobs in the workload (default 50, the paper's Section IX;
+//              archive default 100000)
 //   scale=F    iteration_scale: fraction of Table I iteration counts
-//              (default 1.0; smoke forces a small value)
-//   seed=N     workload seed (default 2017)
+//              (default 1.0; smoke forces a small value; fig10 only)
+//   seed=N     workload seed (default 2017; archive default 1)
 //   repeat=N   measured repetitions appended as separate rows (default 2,
 //              so one invocation seeds BENCH_engine.json with a
 //              trajectory)
@@ -47,13 +54,17 @@ namespace {
 using namespace dmr;
 
 struct EngineBenchOptions {
-  int jobs = 50;
+  int jobs = -1;  // -1 = the workload's default (50 fig10, 100000 archive)
   double scale = 1.0;
-  std::uint64_t seed = 2017;
+  std::uint64_t seed = 0;  // 0 = the workload's default (2017 / 1)
   int repeat = 2;
   bool smoke = false;
+  bool archive = false;
   std::string trace_file;
   std::string append_json;
+  /// The shared archive workload (built once; replays are the measured
+  /// section).  Unused in fig10 mode.
+  wl::Workload archive_workload;
 };
 
 struct RunResult {
@@ -62,13 +73,32 @@ struct RunResult {
   drv::WorkloadMetrics metrics;
 };
 
+bench::ArchiveWorkloadOptions archive_options(
+    const EngineBenchOptions& options) {
+  bench::ArchiveWorkloadOptions archive;
+  if (options.jobs > 0) archive.jobs = options.jobs;
+  if (options.seed != 0) archive.seed = options.seed;
+  return archive;
+}
+
 RunResult run_once(const EngineBenchOptions& options, const obs::Hooks& hooks) {
+  RunResult result;
+  if (options.archive) {
+    bench::ArchiveWorkloadOptions archive = archive_options(options);
+    archive.hooks = hooks;
+    // The measured wall is the driver run alone: plan building and digest
+    // rendering are per-rep setup, and at 100k jobs they would dilute the
+    // events/sec row by a constant unrelated to engine speed.
+    result.digest =
+        bench::archive_outcome_digest(options.archive_workload, archive,
+                                      &result.metrics, &result.wall);
+    return result;
+  }
   bench::RealisticWorkloadOptions workload;
-  workload.jobs = options.jobs;
-  workload.seed = options.seed;
+  workload.jobs = options.jobs > 0 ? options.jobs : 50;
+  workload.seed = options.seed != 0 ? options.seed : 2017;
   workload.iteration_scale = options.scale;
   workload.hooks = hooks;
-  RunResult result;
   const double start = util::wall_seconds();
   result.digest = bench::realistic_outcome_digest(workload, &result.metrics);
   result.wall = util::wall_seconds() - start;
@@ -98,6 +128,8 @@ int main(int argc, char** argv) {
     double fraction = 0.0;
     if (std::strcmp(argv[i], "smoke") == 0) {
       options.smoke = true;
+    } else if (std::strcmp(argv[i], "archive") == 0) {
+      options.archive = true;
     } else if (std::sscanf(argv[i], "jobs=%llu", &value) == 1) {
       options.jobs = static_cast<int>(value);
     } else if (std::sscanf(argv[i], "seed=%llu", &value) == 1) {
@@ -114,21 +146,36 @@ int main(int argc, char** argv) {
       ++i;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [jobs=N] [scale=F] [seed=N] [repeat=N] "
-                   "[--trace FILE] [--append-json FILE] [smoke]\n",
+                   "usage: %s [archive] [jobs=N] [scale=F] [seed=N] "
+                   "[repeat=N] [--trace FILE] [--append-json FILE] [smoke]\n",
                    argv[0]);
       return 2;
     }
   }
   if (options.smoke) {
-    options.jobs = 32;
+    // Sized so the measured section stays in the tens-of-milliseconds
+    // band: below that the 25% spread gate trips on scheduler jitter
+    // alone.  Re-check whenever the engine gets materially faster.
+    options.jobs = options.archive ? 5000 : 128;
     options.scale = 0.2;
     options.repeat = 1;
   }
-  if (options.jobs <= 0 || options.scale <= 0.0 || options.repeat <= 0) {
+  if ((options.jobs <= 0 && options.jobs != -1) || options.scale <= 0.0 ||
+      options.repeat <= 0) {
     std::fprintf(stderr, "engine_bench: jobs/scale/repeat must be positive\n");
     return 2;
   }
+  if (options.archive && !options.trace_file.empty()) {
+    std::fprintf(stderr,
+                 "engine_bench: --trace is not supported in archive mode "
+                 "(the profiled run attaches no recorder)\n");
+    return 2;
+  }
+  if (options.archive) {
+    options.archive_workload =
+        bench::build_archive_workload(archive_options(options));
+  }
+  const char* workload_name = options.archive ? "archive" : "fig10";
 
   std::FILE* append = nullptr;
   if (!options.append_json.empty()) {
@@ -150,10 +197,12 @@ int main(int argc, char** argv) {
     const RunResult baseline = run_best(options, tries);
     const RunResult rerun = run_best(options, tries);
 
+    // Archive mode profiles without a recorder: a million-event timeline
+    // in memory would dominate the peak-RSS figure the row reports.
     obs::TraceRecorder trace;
     obs::Profiler profiler;
     obs::Hooks hooks;
-    hooks.trace = &trace;
+    if (!options.archive) hooks.trace = &trace;
     hooks.profiler = &profiler;
     const RunResult profiled = run_once(options, hooks);
     const obs::ProfileReport report =
@@ -190,25 +239,26 @@ int main(int argc, char** argv) {
             : 0.0;
     // The ProfileReport fields carry "jobs"/"wall_seconds"; this prefix
     // adds the workload parameters and the overhead measurements.
+    const unsigned long long seed_out =
+        options.seed != 0 ? options.seed : (options.archive ? 1 : 2017);
     std::printf(
-        "{\"bench\":\"engine\",\"workload\":\"fig10\",\"rep\":%d,"
+        "{\"bench\":\"engine\",\"workload\":\"%s\",\"rep\":%d,"
         "\"iteration_scale\":%.4f,\"seed\":%llu,"
         "\"baseline_wall_seconds\":%.6f,\"rerun_wall_seconds\":%.6f,"
         "\"noise_floor_pct\":%.2f,\"traced_overhead_pct\":%.2f,"
         "\"trace_events\":%zu,\"trace_dropped\":%llu,%s,%s}\n",
-        rep, options.scale, static_cast<unsigned long long>(options.seed),
-        baseline.wall, rerun.wall, noise_floor, traced_overhead,
-        trace.recorded(), static_cast<unsigned long long>(trace.dropped()),
+        workload_name, rep, options.scale, seed_out, baseline.wall,
+        rerun.wall, noise_floor, traced_overhead, trace.recorded(),
+        static_cast<unsigned long long>(trace.dropped()),
         report.json_fields().c_str(),
         dmr::bench_provenance_fields(1).c_str());
     if (append != nullptr) {
       std::fprintf(append,
-                   "{\"bench\":\"engine\",\"workload\":\"fig10\","
+                   "{\"bench\":\"engine\",\"workload\":\"%s\","
                    "\"iteration_scale\":%.4f,\"seed\":%llu,"
                    "\"noise_floor_pct\":%.2f,\"traced_overhead_pct\":%.2f,"
                    "%s,%s}\n",
-                   options.scale,
-                   static_cast<unsigned long long>(options.seed), noise_floor,
+                   workload_name, options.scale, seed_out, noise_floor,
                    traced_overhead, report.json_fields().c_str(),
                    dmr::bench_provenance_fields(1).c_str());
     }

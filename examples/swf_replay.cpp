@@ -9,12 +9,15 @@
 //   ./swf_replay KTH-SP2-1996-2.1-cln.swf
 //
 // Without an argument it replays a small embedded trace so the example
-// is self-contained.  With `--trace FILE.json` the flexible replay is
+// is self-contained.  `--nodes N` rescales onto an N-node cluster
+// (default 16; archive-scale make_swf traces need a machine their
+// widest job fits on).  With `--trace FILE.json` the flexible replay is
 // recorded as a Perfetto-loadable timeline (see examples/trace_timeline
 // for the walkthrough of that output).  With `--audit` both replays run
 // with the chk::Auditor attached; its JSON report is printed and any
 // invariant violation makes the exit status nonzero.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -70,10 +73,18 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string swf_file;
   bool audit = false;
+  int nodes = 16;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::atoi(argv[i + 1]);
+      ++i;
+      if (nodes <= 0) {
+        std::fprintf(stderr, "swf_replay: --nodes must be positive\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--audit") == 0) {
       audit = true;
     } else {
@@ -98,10 +109,12 @@ int main(int argc, char** argv) {
     std::printf("  ; %s: %s\n", key.c_str(), value.c_str());
   }
 
-  // 2. Shape: filter + rescale onto a 16-node simulated cluster, and
-  //    annotate the rigid records with malleability bounds.
+  // 2. Shape: filter + rescale onto the simulated cluster (16 nodes
+  //    unless --nodes overrides — large make_swf traces need a machine
+  //    their widest job fits on), and annotate the rigid records with
+  //    malleability bounds.
   wl::TraceShaper shaper;
-  shaper.target_nodes = 16;
+  shaper.target_nodes = nodes;
   shaper.malleability.policy = wl::Malleability::Pow2Halving;
   wl::ShapeReport shape_report;
   const wl::Workload workload = shaper.shape(trace, &shape_report);

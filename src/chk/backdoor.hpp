@@ -45,27 +45,24 @@ struct TestBackdoor {
 
   /// Re-key a job record to `new_id` (seeds a federation id-range
   /// violation when `new_id` lies outside the member's stride range).
+  /// The dense job table stays indexed by the original id — only the
+  /// record's identity is corrupted, which is what the auditor reads.
   static void rekey_job(rms::Manager& manager, ::dmr::JobId old_id,
                         ::dmr::JobId new_id) {
-    auto node = manager.jobs_.extract(old_id);
-    node.key() = new_id;
-    node.mapped().id = new_id;
-    manager.jobs_.insert(std::move(node));
-    manager.user_jobs_.clear();
-    for (auto& [id, job] : manager.jobs_) {
-      if (!job.spec.internal_resizer) manager.user_jobs_.push_back(&job);
-    }
+    manager.job_mutable(old_id).id = new_id;
   }
 
   /// Push a raw (time, lane, seq) entry into the engine queue, bypassing
   /// schedule_at's monotonicity guard (the time-travel corruption).  The
-  /// entry carries a fresh id with a no-op callback so step() fires it.
+  /// entry carries a fresh slot with a no-op callback so step() fires it.
   static void push_raw_event(sim::Engine& engine, double time, sim::Lane lane,
                              std::uint64_t seq) {
-    const sim::EventId id = engine.next_id_++;
-    engine.queue_.push(sim::Engine::Entry{time, lane, seq, id});
-    engine.live_.insert(id);
-    engine.callbacks_.emplace(id, [] {});
+    const std::uint32_t slot = engine.allocate_slot();
+    engine.slot_callback(slot).emplace([] {}, engine.arena_);
+    engine.insert_entry(sim::Engine::Entry{
+        time, sim::Engine::pack_lane_seq(lane, seq), slot,
+        engine.gens_[slot]});
+    ++engine.live_count_;
   }
 };
 

@@ -34,21 +34,24 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, DriverConfig config)
   engine_.set_auditor(config_.hooks.auditor);
   federation_.set_hooks(config_.hooks);
   federation_.on_start([this](const rms::Job& job) { on_started(job); });
-  federation_.on_end([this](const rms::Job& job) {
+  util::StepSeries* completed_series = trace_.series_handle("completed");
+  util::StepSeries* allocated_series = trace_.series_handle("allocated");
+  util::StepSeries* running_series = trace_.series_handle("running");
+  federation_.on_end([this, completed_series](const rms::Job& job) {
     (void)job;
     ++completed_;
-    trace_.record("completed", completed_);
+    trace_.record_into(completed_series, completed_);
     if (config_.hooks.trace != nullptr) {
       config_.hooks.trace->counter(0, engine_.now(), "completed jobs",
                                    completed_);
     }
   });
   const bool multi = federation_.cluster_count() > 1;
-  federation_.on_alloc_change([this, multi](int member, int member_allocated,
-                                            int total_allocated,
-                                            int total_running) {
-    trace_.record("allocated", total_allocated);
-    trace_.record("running", total_running);
+  federation_.on_alloc_change([this, multi, allocated_series, running_series](
+                                  int member, int member_allocated,
+                                  int total_allocated, int total_running) {
+    trace_.record_into(allocated_series, total_allocated);
+    trace_.record_into(running_series, total_running);
     if (config_.hooks.trace != nullptr) {
       config_.hooks.trace->counter(0, engine_.now(), "allocated nodes",
                                    total_allocated);
@@ -90,10 +93,9 @@ WorkloadDriver::Exec& WorkloadDriver::enqueue(JobPlan plan) {
     plan.time_limit = plan.model.step_seconds(plan.submit_nodes) *
                       plan.model.iterations * 1.2 / speed;
   }
-  auto exec = std::make_unique<Exec>();
-  exec->plan = std::move(plan);
-  execs_.push_back(std::move(exec));
-  return *execs_.back();
+  Exec& exec = execs_.emplace_back();
+  exec.plan = std::move(plan);
+  return exec;
 }
 
 void WorkloadDriver::add(JobPlan plan) { enqueue(std::move(plan)); }
@@ -121,12 +123,15 @@ void WorkloadDriver::submit(Exec& exec) {
   spec.moldable = exec.plan.moldable;
   spec.time_limit = exec.plan.time_limit;
   spec.partition = exec.plan.partition;
-  exec.session = std::make_unique<::dmr::Session>(connection_);
+  exec.session.emplace(connection_);
   exec.id = exec.session->submit(std::move(spec));
-  const double period = config_.sched_period_override >= 0.0
-                            ? config_.sched_period_override
-                            : exec.plan.model.sched_period;
-  exec.engine = std::make_unique<::dmr::ReconfigEngine>(*exec.session, period);
+  if (exec.plan.flexible) {
+    const double period = config_.sched_period_override >= 0.0
+                              ? config_.sched_period_override
+                              : exec.plan.model.sched_period;
+    exec.engine =
+        std::make_unique<::dmr::ReconfigEngine>(*exec.session, period);
+  }
   by_id_[exec.id] = &exec;
   exec.session->schedule();
 }
@@ -151,8 +156,10 @@ void WorkloadDriver::begin_execution(Exec& exec) {
 void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
   if (delay <= 0.0) {
     // No redistribution to pay for; a zero-cost shrink (no modeled state)
-    // still completes its drain before the next step.
-    exec.engine->complete_shrink();
+    // still completes its drain before the next step.  A rigid job never
+    // negotiates, so it can never have a pending shrink — skip the
+    // (mutex-guarded) no-op on the archive replay's hot path.
+    if (exec.plan.flexible) exec.engine->complete_shrink();
     schedule_step(exec);
     return;
   }
@@ -165,12 +172,20 @@ void WorkloadDriver::proceed_after_check(Exec& exec, double delay) {
 }
 
 void WorkloadDriver::schedule_step(Exec& exec) {
+  if (exec.rigid_step_seconds > 0.0) {
+    // Rigid job: allocation and gating speed are fixed for its lifetime,
+    // so the duration computed at start is exact for every step.
+    engine_.schedule_after(exec.rigid_step_seconds,
+                           [this, &exec] { finish_step(exec); });
+    return;
+  }
   const rms::Job& job = federation_.job(exec.id);
   // Synchronous iterations: the slowest node in the allocation gates the
   // step (speed 1.0 everywhere on a homogeneous cluster).
   const double speed = federation_.cluster_for(exec.id).min_speed(job.nodes);
   const double duration =
       exec.plan.model.step_seconds(job.allocated()) / speed;
+  if (!exec.plan.flexible) exec.rigid_step_seconds = duration;
   engine_.schedule_after(duration, [this, &exec] { finish_step(exec); });
 }
 
@@ -300,8 +315,9 @@ void WorkloadDriver::collect_cluster_metrics(WorkloadMetrics& metrics,
 
 WorkloadMetrics WorkloadDriver::run() {
   // Schedule arrivals not already fed through submit_at().
+  by_id_.reserve(execs_.size());
   for (auto& exec : execs_) {
-    if (!exec->scheduled) schedule_arrival(*exec);
+    if (!exec.scheduled) schedule_arrival(exec);
   }
   engine_.run();
   if (!federation_.all_done()) {
@@ -368,7 +384,7 @@ WorkloadMetrics WorkloadDriver::collect_metrics() const {
   // leaves utilization at 0 instead of dividing by a zero-length span.
   double first_arrival = makespan;
   for (const auto& exec : execs_) {
-    first_arrival = std::min(first_arrival, exec->plan.arrival);
+    first_arrival = std::min(first_arrival, exec.plan.arrival);
   }
   if (!execs_.empty() && trace_.has("allocated") && makespan > first_arrival) {
     metrics.utilization =

@@ -16,9 +16,11 @@
 // member, so federated and single-cluster runs exercise the same code.
 #pragma once
 
-#include <map>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apps/models.hpp"
@@ -137,7 +139,14 @@ class WorkloadDriver {
     int steps_left = 0;
     /// Arrival event already scheduled (submit_at feeds; run() skips).
     bool scheduled = false;
-    std::unique_ptr<::dmr::Session> session;
+    /// Fixed step duration of a non-flexible job, computed once at start
+    /// (a rigid allocation never changes, so neither does the gating
+    /// speed).  0 = not cached (flexible job; recompute every step).
+    double rigid_step_seconds = 0.0;
+    /// Constructed in place at submission (no per-job heap allocation).
+    std::optional<::dmr::Session> session;
+    /// Reconfiguring-point protocol state — only a flexible job ever
+    /// negotiates, so rigid jobs never allocate one.
     std::unique_ptr<::dmr::ReconfigEngine> engine;
   };
 
@@ -170,8 +179,12 @@ class WorkloadDriver {
   /// Shared virtual-clock connection all job sessions go through.
   std::shared_ptr<::dmr::Connection> connection_;
   sim::TraceRecorder trace_;
-  std::vector<std::unique_ptr<Exec>> execs_;
-  std::map<rms::JobId, Exec*> by_id_;
+  /// A deque so Exec addresses stay stable for the event callbacks while
+  /// jobs keep arriving — without a heap allocation per job.
+  std::deque<Exec> execs_;
+  /// Job id -> execution state; hashed (never iterated) — the id lookup
+  /// runs on every job start/end.
+  std::unordered_map<rms::JobId, Exec*> by_id_;
   int completed_ = 0;
   /// Workload-wide data-movement totals (from the modeled Reports).
   std::size_t bytes_redistributed_ = 0;

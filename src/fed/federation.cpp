@@ -67,7 +67,7 @@ const rms::Cluster& Federation::cluster_for(JobId id) const {
 const rms::Job& Federation::job(JobId id) const { return owner(id).job(id); }
 
 std::vector<ClusterStatus> Federation::statuses(const JobSpec& spec,
-                                                double now) const {
+                                                double /*now*/) const {
   std::vector<ClusterStatus> all;
   all.reserve(managers_.size());
   for (int c = 0; c < cluster_count(); ++c) {
@@ -94,8 +94,10 @@ std::vector<ClusterStatus> Federation::statuses(const JobSpec& spec,
       }
       // capacity stays 0 when the member lacks the partition: ineligible.
     }
+    // Routing only sums the queue — the unsorted view skips the
+    // priority sort a fresh `now` would force on every submission.
     for (const rms::Job* pending :
-         managers_[static_cast<std::size_t>(c)]->pending_snapshot(now)) {
+         managers_[static_cast<std::size_t>(c)]->pending_unsorted()) {
       ++status.pending_jobs;
       status.pending_nodes += pending->requested_nodes;
     }
@@ -108,6 +110,40 @@ JobId Federation::submit(JobSpec spec, double now) {
   if (spec.requested_nodes <= 0) {
     throw std::invalid_argument("Federation: bad node request for " +
                                 spec.name);
+  }
+  // Single-member fast path: routing has exactly one answer, so skip the
+  // status snapshot and the policy call (an allocation and a queue walk
+  // per submission — archive replays submit hundreds of thousands of
+  // times).  Placement tracing/attribution wants the snapshot, so those
+  // hooks keep the full protocol.
+  if (managers_.size() == 1 && hooks_.trace == nullptr &&
+      hooks_.attr == nullptr) {
+    const rms::Cluster& cluster = managers_.front()->cluster();
+    int capacity = cluster.size();
+    if (!spec.partition.empty()) {
+      const int pinned = cluster.partition_index(spec.partition);
+      capacity =
+          pinned == rms::kAnyPartition ? 0 : cluster.partition(pinned).nodes;
+    }
+    if (spec.requested_nodes > capacity) {
+      throw std::invalid_argument(
+          "Federation: no member cluster can run '" + spec.name + "' (" +
+          std::to_string(spec.requested_nodes) + " nodes" +
+          (spec.partition.empty()
+               ? std::string()
+               : ", partition '" + spec.partition + "'") +
+          ")");
+    }
+    ++placements_[0];
+    if (hooks_.profiler != nullptr) hooks_.profiler->add_placement(0.0);
+    DMR_DEBUG("fed") << "route '" << spec.name << "' ("
+                     << spec.requested_nodes << " nodes) -> "
+                     << cluster_name(0) << " via " << policy_->name();
+    const JobId id = managers_.front()->submit(std::move(spec), now);
+    if (hooks_.auditor != nullptr) {
+      hooks_.auditor->on_placement(id, 0, kClusterIdStride, now);
+    }
+    return id;
   }
   const std::vector<ClusterStatus> all = statuses(spec, now);
   std::vector<int> eligible;

@@ -1,6 +1,7 @@
 #include "rms/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace dmr::rms {
@@ -43,6 +44,15 @@ Cluster::Cluster(std::vector<Partition> partitions)
     idle_per_partition_[p] = part.nodes;
   }
   idle_count_ = total;
+  idle_bits_.assign((static_cast<std::size_t>(total) + 63) / 64, 0);
+  for (int n = 0; n < total; ++n) set_idle_bit(n);
+  uniform_speed_ = partitions_.front().speed;
+  for (const Partition& part : partitions_) {
+    if (part.speed != uniform_speed_) {
+      uniform_speed_ = 0.0;
+      break;
+    }
+  }
 }
 
 std::string to_string(AllocPolicy policy) {
@@ -70,6 +80,9 @@ int Cluster::allocated_in(int partition) const {
 }
 
 double Cluster::min_speed(const std::vector<int>& node_ids) const {
+  // Homogeneous cluster: every node runs at the same speed, so the
+  // per-node scan (paid on every synchronous step) collapses to it.
+  if (uniform_speed_ > 0.0 && !node_ids.empty()) return uniform_speed_;
   double slowest = 1.0;
   bool first = true;
   for (int id : node_ids) {
@@ -130,6 +143,8 @@ void Cluster::add_nodes(int count, int partition) {
     node.speed = part.speed;
     nodes_.push_back(std::move(node));
     node_partition_.push_back(partition);
+    idle_bits_.resize((nodes_.size() + 63) / 64, 0);
+    set_idle_bit(static_cast<int>(nodes_.size()) - 1);
   }
   part.nodes += count;
   idle_per_partition_[static_cast<std::size_t>(partition)] += count;
@@ -144,18 +159,30 @@ std::vector<int> Cluster::allocate(JobId job, int count, int partition) {
     throw std::runtime_error("Cluster: insufficient idle nodes");
   }
   const auto take_from = [&](int pool, int remaining) {
-    // Lowest id first within the pool, deterministic.
+    // Lowest id first within the pool: walk set bits of the idle bitmap
+    // in id order — the same grant order the former whole-table scan
+    // produced, at a word per 64 nodes.
     int taken = 0;
     std::vector<int> granted;
     granted.reserve(static_cast<std::size_t>(remaining));
-    for (auto& node : nodes_) {
-      if (node.owner != kInvalidJob) continue;
-      if (pool != kAnyPartition && node.partition != pool) continue;
-      node.owner = job;
-      node.draining = false;
-      --idle_per_partition_[static_cast<std::size_t>(node.partition)];
-      granted.push_back(node.id);
-      if (++taken == remaining) break;
+    for (std::size_t w = 0; w < idle_bits_.size() && taken < remaining; ++w) {
+      std::uint64_t bits = idle_bits_[w];
+      while (bits != 0 && taken < remaining) {
+        const int id =
+            static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (pool != kAnyPartition &&
+            node_partition_[static_cast<std::size_t>(id)] != pool) {
+          continue;
+        }
+        Node& node = nodes_[static_cast<std::size_t>(id)];
+        node.owner = job;
+        node.draining = false;
+        clear_idle_bit(id);
+        --idle_per_partition_[static_cast<std::size_t>(node.partition)];
+        granted.push_back(id);
+        ++taken;
+      }
     }
     return granted;
   };
@@ -186,6 +213,7 @@ void Cluster::release(JobId job, const std::vector<int>& node_ids) {
     node.owner = kInvalidJob;
     if (node.draining) --draining_count_;
     node.draining = false;
+    set_idle_bit(id);
     ++idle_per_partition_[static_cast<std::size_t>(node.partition)];
     ++idle_count_;
   }
@@ -233,8 +261,12 @@ std::vector<int> Cluster::nodes_of(JobId job) const {
 std::vector<int> Cluster::idle_node_ids() const {
   std::vector<int> idle;
   idle.reserve(static_cast<std::size_t>(idle_count_));
-  for (const auto& node : nodes_) {
-    if (node.owner == kInvalidJob) idle.push_back(node.id);
+  for (std::size_t w = 0; w < idle_bits_.size(); ++w) {
+    std::uint64_t bits = idle_bits_[w];
+    while (bits != 0) {
+      idle.push_back(static_cast<int>(w * 64) + std::countr_zero(bits));
+      bits &= bits - 1;
+    }
   }
   return idle;
 }

@@ -162,10 +162,28 @@ class Cluster {
   friend struct ::dmr::chk::TestBackdoor;
 
   Node& mutable_node(int id);
+  void set_idle_bit(int id) {
+    idle_bits_[static_cast<std::size_t>(id) >> 6] |=
+        std::uint64_t(1) << (id & 63);
+  }
+  void clear_idle_bit(int id) {
+    idle_bits_[static_cast<std::size_t>(id) >> 6] &=
+        ~(std::uint64_t(1) << (id & 63));
+  }
   std::vector<Node> nodes_;
   std::vector<Partition> partitions_;
   std::vector<int> node_partition_;
   std::vector<int> idle_per_partition_;
+  /// Idle-node bitmap (bit set = owner == kInvalidJob), kept in sync by
+  /// allocate/release/transfer/add_nodes.  Allocation at archive scale
+  /// used to scan the whole Node table (strings and all) per grant;
+  /// scanning set bits lowest-first preserves the exact grant order at a
+  /// word per 64 nodes.
+  std::vector<std::uint64_t> idle_bits_;
+  /// The single speed shared by every partition, or 0.0 when the
+  /// cluster is heterogeneous (min_speed's per-node scan short-circuits
+  /// on the uniform — i.e. paper-testbed — case).
+  double uniform_speed_ = 0.0;
   AllocPolicy alloc_policy_ = AllocPolicy::LowestId;
   int idle_count_ = 0;
   int draining_count_ = 0;

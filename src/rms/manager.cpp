@@ -68,26 +68,26 @@ void Manager::rescale_time_limit(Job& job, double now, double ratio) {
 }
 
 Job& Manager::job_mutable(JobId id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
+  const std::size_t index = job_index(id);
+  if (index == kNoJob) {
     throw std::out_of_range("Manager: unknown job " + std::to_string(id));
   }
-  return it->second;
+  return jobs_[index];
 }
 
 const Job& Manager::job(JobId id) const {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
+  const std::size_t index = job_index(id);
+  if (index == kNoJob) {
     throw std::out_of_range("Manager: unknown job " + std::to_string(id));
   }
-  return it->second;
+  return jobs_[index];
 }
 
 bool Manager::eligible(const Job& job) const {
   if (!job.pending()) return false;
   if (job.spec.depends_on) {
-    const auto it = jobs_.find(*job.spec.depends_on);
-    if (it == jobs_.end() || !it->second.running()) return false;
+    const Job* dep = find_job(*job.spec.depends_on);
+    if (dep == nullptr || !dep->running()) return false;
   }
   return true;
 }
@@ -103,17 +103,6 @@ void Manager::remove_from(std::vector<Job*>& list, const Job* job) {
     *it = list.back();
     list.pop_back();
   }
-}
-
-std::vector<Job*> Manager::eligible_pending(double now) {
-  std::vector<Job*> pending;
-  pending.reserve(pending_jobs_.size());
-  for (Job* job : pending_jobs_) {
-    if (eligible(*job)) pending.push_back(job);
-  }
-  std::sort(pending.begin(), pending.end(),
-            PendingOrder{now, config_.scheduler.weights});
-  return pending;
 }
 
 JobId Manager::submit(JobSpec spec, double now) {
@@ -144,10 +133,14 @@ JobId Manager::submit(JobSpec spec, double now) {
   const JobId id = job.id;
   DMR_DEBUG("rms") << "submit job " << id << " '" << job.spec.name << "' ("
                    << job.requested_nodes << " nodes) at t=" << now;
-  Job& stored = jobs_.emplace(id, std::move(job)).first->second;
+  Job& stored = jobs_.emplace_back(std::move(job));
+  dependents_.emplace_back();  // keeps the dense index parallel to jobs_
   pending_jobs_.push_back(&stored);
   if (stored.spec.depends_on) {
-    dependents_[*stored.spec.depends_on].push_back(id);
+    const std::size_t parent = job_index(*stored.spec.depends_on);
+    // An unknown parent was dead weight in the old map too: the job can
+    // never become eligible, and nothing would ever cancel through it.
+    if (parent != kNoJob) dependents_[parent].push_back(id);
   }
   if (!stored.spec.internal_resizer) {
     user_jobs_.push_back(&stored);
@@ -177,6 +170,10 @@ void Manager::start_job(Job& job, double now) {
   job.priority_boost = false;
   remove_from(pending_jobs_, &job);
   running_jobs_.push_back(&job);
+  if (!job.spec.internal_resizer) {
+    user_allocated_nodes_ += job.allocated();
+    ++user_running_jobs_;
+  }
   ++queue_version_;
   DMR_DEBUG("rms") << "start job " << job.id << " on " << job.allocated()
                    << " nodes at t=" << now;
@@ -226,14 +223,24 @@ std::vector<JobId> Manager::schedule(double now) {
   // with a pending dependent (resizer jobs depend on their parent
   // running) or a molded head leaving idle nodes behind.  The former
   // unconditional loop burned one full confirming pass per call.
+  // The view scratch keeps its vector capacities across passes and
+  // calls: schedule() runs twice per job on a replay, and a fresh
+  // allocation per pending/running snapshot showed up at archive scale.
+  ScheduleView& view = view_scratch_;
   for (;;) {
     ++counters_.schedule_passes;
-    ScheduleView view;
     view.now = now;
     view.idle_nodes = cluster_.idle();
-    view.pending = eligible_pending(now);
+    view.pending.clear();
+    for (Job* job : pending_jobs_) {
+      if (eligible(*job)) view.pending.push_back(job);
+    }
+    sort_pending(view.pending, now, config_.scheduler.weights);
+    view.pending_sorted = true;
+    view.running.clear();
     view.running.reserve(running_jobs_.size());
     for (const Job* job : running_jobs_) view.running.push_back(job);
+    view.node_draining.clear();
     if (cluster_.draining_count() > 0) {
       view.node_draining = cluster_.draining_flags();
     }
@@ -285,9 +292,9 @@ std::vector<JobId> Manager::schedule(double now) {
     }
     bool starts_may_cascade = false;
     for (Job* job : to_start) {
-      const auto dep = dependents_.find(job->id);
-      if (dep != dependents_.end()) {
-        for (JobId child : dep->second) {
+      const std::size_t dep_index = job_index(job->id);
+      if (dep_index != kNoJob) {
+        for (JobId child : dependents_[dep_index]) {
           if (this->job(child).pending()) {
             starts_may_cascade = true;
             break;
@@ -354,6 +361,10 @@ void Manager::finish_job(Job& job, double now, JobState final_state) {
     // instead of re-deriving it from a whole-cluster scan.
     released_nodes = !job.nodes.empty();
     if (released_nodes) cluster_.release(job.id, job.nodes);
+    if (!job.spec.internal_resizer) {
+      user_allocated_nodes_ -= job.allocated();
+      --user_running_jobs_;
+    }
     job.nodes.clear();
     remove_from(running_jobs_, &job);
   }
@@ -389,10 +400,10 @@ void Manager::finish_job(Job& job, double now, JobState final_state) {
 
 void Manager::cancel_dependents(JobId parent, double now) {
   // Resizer jobs are only meaningful while their parent runs.
-  const auto it = dependents_.find(parent);
-  if (it == dependents_.end()) return;
-  const std::vector<JobId> to_cancel = std::move(it->second);
-  dependents_.erase(it);
+  const std::size_t index = job_index(parent);
+  if (index == kNoJob || dependents_[index].empty()) return;
+  const std::vector<JobId> to_cancel = std::move(dependents_[index]);
+  dependents_[index].clear();
   for (JobId id : to_cancel) {
     Job& dependent = job_mutable(id);
     if (!dependent.finished()) {
@@ -472,6 +483,7 @@ std::vector<int> Manager::harvest_resizer(JobId resizer, double now) {
   Job& parent_job = job_mutable(parent);
   parent_job.nodes.insert(parent_job.nodes.end(), nodes.begin(), nodes.end());
   parent_job.requested_nodes = parent_job.allocated();
+  user_allocated_nodes_ += static_cast<int>(nodes.size());
   return nodes;
 }
 
@@ -666,6 +678,7 @@ void Manager::complete_shrink(JobId id, double now) {
                              }),
               nodes.end());
   job.requested_nodes = job.allocated();
+  user_allocated_nodes_ -= static_cast<int>(draining.size());
   ++job.shrinks;
   mark_queue_changed();
   if (hooks_.auditor != nullptr) {
@@ -736,7 +749,7 @@ void Manager::abort_shrink(JobId id, double now) {
   return view;
 }
 
-const std::vector<const Job*>& Manager::pending_snapshot(double now) const {
+const std::vector<const Job*>& Manager::pending_unsorted() const {
   if (pending_cache_version_ != queue_version_) {
     pending_cache_.clear();
     for (const Job* job : pending_jobs_) {
@@ -747,14 +760,16 @@ const std::vector<const Job*>& Manager::pending_snapshot(double now) const {
     pending_cache_version_ = queue_version_;
     pending_cache_sorted_ = false;
   }
+  return pending_cache_;
+}
+
+const std::vector<const Job*>& Manager::pending_snapshot(double now) const {
+  pending_unsorted();
   // Priorities are age-based, so the sort key moves with `now`; relative
   // order is stable below the age cap, but re-sorting the (small) live
   // queue is cheap and exact.
   if (!pending_cache_sorted_ || pending_cache_now_ != now) {
-    std::sort(pending_cache_.begin(), pending_cache_.end(),
-              [&](const Job* a, const Job* b) {
-                return PendingOrder{now, config_.scheduler.weights}(a, b);
-              });
+    sort_pending(pending_cache_, now, config_.scheduler.weights);
     pending_cache_now_ = now;
     pending_cache_sorted_ = true;
   }
@@ -778,15 +793,9 @@ const std::vector<const Job*>& Manager::running_snapshot() const {
 
 void Manager::notify_alloc() {
   if (alloc_callbacks_.empty()) return;
-  int allocated = 0;
-  int running = 0;
-  for (const Job* job : running_jobs_) {
-    if (!job->spec.internal_resizer) {
-      allocated += job->allocated();
-      ++running;
-    }
+  for (const auto& cb : alloc_callbacks_) {
+    cb(user_allocated_nodes_, user_running_jobs_);
   }
-  for (const auto& cb : alloc_callbacks_) cb(allocated, running);
 }
 
 }  // namespace dmr::rms

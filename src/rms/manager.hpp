@@ -26,8 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -131,6 +132,10 @@ class Manager : public ::dmr::Rms {
   /// Eligible pending (non-internal) jobs in priority order.  Served
   /// from a cache invalidated only by queue-changing events.
   const std::vector<const Job*>& pending_snapshot(double now) const;
+  /// The same jobs in unspecified order: callers that only aggregate
+  /// (federation routing sums, service queue depth) skip the
+  /// priority-sort the age-moving `now` would force on every call.
+  const std::vector<const Job*>& pending_unsorted() const;
   const std::vector<const Job*>& running_snapshot() const;
   /// All user-visible jobs (submission order).
   const std::vector<const Job*>& jobs() const { return user_jobs_; }
@@ -182,6 +187,20 @@ class Manager : public ::dmr::Rms {
   /// Test-only state corruption for auditor failure-path tests.
   friend struct ::dmr::chk::TestBackdoor;
 
+  static constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
+  /// Dense index of `id` in jobs_ (kNoJob when this manager never issued
+  /// it).  Ids are assigned sequentially from config_.first_job_id and
+  /// jobs are never erased, so the subtraction is the whole lookup.
+  std::size_t job_index(JobId id) const {
+    const JobId first = config_.first_job_id;
+    if (id < first) return kNoJob;
+    const std::size_t index = static_cast<std::size_t>(id - first);
+    return index < jobs_.size() ? index : kNoJob;
+  }
+  const Job* find_job(JobId id) const {
+    const std::size_t index = job_index(id);
+    return index == kNoJob ? nullptr : &jobs_[index];
+  }
   Job& job_mutable(JobId id);
   DmrOutcome dmr_apply_impl(JobId id, const PolicyDecision& decision,
                             double now);
@@ -192,7 +211,6 @@ class Manager : public ::dmr::Rms {
   bool eligible(const Job& job) const;
   void notify_alloc();
   void trace_queue_depth(double now);
-  std::vector<Job*> eligible_pending(double now);
   /// A queue/allocation event happened: placements may change and the
   /// snapshot caches are stale.
   void mark_queue_changed();
@@ -200,7 +218,10 @@ class Manager : public ::dmr::Rms {
 
   RmsConfig config_;
   Cluster cluster_;
-  std::map<JobId, Job> jobs_;
+  /// Dense job table indexed by `id - config_.first_job_id` (ids are
+  /// sequential, jobs never erased).  A deque so element addresses stay
+  /// stable for the Job* index lists below while the table grows.
+  std::deque<Job> jobs_;
   JobId next_id_;
   Counters counters_;
 
@@ -214,9 +235,19 @@ class Manager : public ::dmr::Rms {
   std::vector<Job*> pending_jobs_;  // every pending job, resizers included
   std::vector<Job*> running_jobs_;  // every running job, resizers included
   std::vector<const Job*> user_jobs_;  // non-internal, submission order
-  std::map<JobId, std::vector<JobId>> dependents_;
+  /// Per-job dependent lists, parallel to jobs_ (same dense index).
+  std::deque<std::vector<JobId>> dependents_;
   long long unfinished_user_jobs_ = 0;
+  /// Exact (allocated nodes, running jobs) over non-internal running
+  /// jobs, maintained at every allocation mutation so notify_alloc() is
+  /// O(callbacks) instead of a running-set scan per start/finish.
+  int user_allocated_nodes_ = 0;
+  int user_running_jobs_ = 0;
   bool placements_dirty_ = true;
+  /// Scratch for schedule()'s per-pass snapshot; member so the pending/
+  /// running vector capacities survive across the two passes every
+  /// replayed job triggers.
+  ScheduleView view_scratch_;
   std::uint64_t queue_version_ = 1;
   mutable std::uint64_t pending_cache_version_ = 0;
   mutable double pending_cache_now_ = 0.0;

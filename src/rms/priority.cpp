@@ -28,4 +28,49 @@ bool PendingOrder::operator()(const Job* a, const Job* b) const {
   return a->id < b->id;
 }
 
+namespace {
+
+template <typename JobPtr>
+void sort_pending_impl(std::vector<JobPtr>& jobs, double now,
+                       const PriorityWeights& weights) {
+  struct Ranked {
+    JobPtr job;
+    double priority;
+  };
+  // Scratch kept across calls: the sort runs per schedule pass and a
+  // fresh decoration buffer per pass is pure allocator churn.
+  static thread_local std::vector<Ranked> ranked;
+  ranked.clear();
+  ranked.reserve(jobs.size());
+  for (JobPtr job : jobs) {
+    ranked.push_back(Ranked{job, job_priority(*job, now, weights)});
+  }
+  // Same key sequence as PendingOrder; the id tiebreak makes the order a
+  // total one, so the cached-priority sort lands byte-identically.
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                             const Ranked& b) {
+    if (a.job->priority_boost != b.job->priority_boost) {
+      return a.job->priority_boost;
+    }
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.job->submit_time != b.job->submit_time) {
+      return a.job->submit_time < b.job->submit_time;
+    }
+    return a.job->id < b.job->id;
+  });
+  for (std::size_t i = 0; i < ranked.size(); ++i) jobs[i] = ranked[i].job;
+}
+
+}  // namespace
+
+void sort_pending(std::vector<Job*>& jobs, double now,
+                  const PriorityWeights& weights) {
+  sort_pending_impl(jobs, now, weights);
+}
+
+void sort_pending(std::vector<const Job*>& jobs, double now,
+                  const PriorityWeights& weights) {
+  sort_pending_impl(jobs, now, weights);
+}
+
 }  // namespace dmr::rms

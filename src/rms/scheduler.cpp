@@ -206,15 +206,26 @@ double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
     double time;
     int nodes;
   };
-  std::vector<Release> releases;
+  // Homogeneous cluster with nothing draining: every allocated node is
+  // in the pool and none releases early, so the per-node walk (paid per
+  // running job per shadow evaluation) collapses to the allocation size.
+  const bool count_only = !pooled && view.node_draining.empty();
+  // Scratch kept across calls — one shadow evaluation per blocked pass,
+  // each rebuilding the release schedule from the running set.
+  static thread_local std::vector<Release> releases;
+  releases.clear();
   releases.reserve(view.running.size() * 2);
   for (const Job* job : view.running) {
     int pool_nodes = 0;
     int draining = 0;
-    for (int node_id : job->nodes) {
-      if (!in_pool(node_id)) continue;
-      ++pool_nodes;
-      if (is_draining(node_id)) ++draining;
+    if (count_only) {
+      pool_nodes = static_cast<int>(job->nodes.size());
+    } else {
+      for (int node_id : job->nodes) {
+        if (!in_pool(node_id)) continue;
+        ++pool_nodes;
+        if (is_draining(node_id)) ++draining;
+      }
     }
     if (draining > 0) releases.push_back(Release{view.now, draining});
     if (pool_nodes - draining > 0) {
@@ -246,9 +257,14 @@ double shadow_time(const ScheduleView& view, int needed, int* extra_nodes,
 std::vector<Job*> schedule_pass(const ScheduleView& view,
                                 const SchedulerConfig& config,
                                 std::vector<BlockDiag>* blocked) {
-  std::vector<Job*> queue = view.pending;
-  std::sort(queue.begin(), queue.end(),
-            PendingOrder{view.now, config.weights});
+  // Pre-sorted views (the manager's) are used in place; the pass never
+  // mutates the queue, so the copy exists only to sort hand-built ones.
+  std::vector<Job*> sorted;
+  if (!view.pending_sorted) {
+    sorted = view.pending;
+    sort_pending(sorted, view.now, config.weights);
+  }
+  const std::vector<Job*>& queue = view.pending_sorted ? view.pending : sorted;
 
   std::vector<Job*> started;
   IdlePool pool(view, config.alloc);

@@ -44,6 +44,10 @@ struct ScheduleView {
   int idle_nodes = 0;
   /// Eligible pending jobs (dependencies already filtered by the caller).
   std::vector<Job*> pending;
+  /// Set when `pending` is already in PendingOrder (Manager::schedule
+  /// sorts it in eligible_pending); schedule_pass then skips its own
+  /// sort.  The pass sorts by default so hand-built views stay valid.
+  bool pending_sorted = false;
   /// Running jobs, used to estimate the backfill shadow time.
   std::vector<const Job*> running;
   /// Draining flag per node id (empty = nothing draining).  Draining

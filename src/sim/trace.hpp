@@ -24,6 +24,19 @@ class TraceRecorder {
   /// Record value = previous + delta (series starts at 0).
   void record_delta(const std::string& series, double delta);
 
+  /// Stable pointer to the named series' storage (created empty when
+  /// new).  Hot-path callers — the driver's per-start/per-end counters,
+  /// fired hundreds of thousands of times on an archive replay — cache
+  /// the handle once and record through record_into, skipping the
+  /// per-record string construction and map lookup.  Bypasses the
+  /// record_delta baseline, so don't mix the two on one series.
+  util::StepSeries* series_handle(const std::string& name) {
+    return &series_[name];
+  }
+  void record_into(util::StepSeries* series, double value) {
+    series->add_point(engine_->now(), value);
+  }
+
   bool has(const std::string& series) const {
     return series_.count(series) != 0;
   }

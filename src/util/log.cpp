@@ -35,7 +35,14 @@ Logger::Logger() : level_(LogLevel::Warn) {
   if (const char* env = std::getenv("DMR_LOG_LEVEL")) {
     level_ = parse_log_level(env);
   }
+  current_level_.store(static_cast<int>(level_), std::memory_order_relaxed);
 }
+
+namespace {
+/// Construct the singleton at static-init time so the level mirror the
+/// log macros read reflects DMR_LOG_LEVEL before any message is checked.
+const bool g_logger_booted = (Logger::instance(), true);
+}  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;

@@ -5,6 +5,7 @@
 // resource manager and the runtime can be interleaved and still read.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <sstream>
@@ -37,11 +38,25 @@ class Logger {
   /// Threshold below which messages are discarded.  Initialized from the
   /// DMR_LOG_LEVEL environment variable (default: Warn, so tests and
   /// benches stay quiet unless asked).
-  void set_level(LogLevel level) { level_ = level; }
+  void set_level(LogLevel level) {
+    level_ = level;
+    current_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
   LogLevel level() const { return level_; }
 
   bool enabled(LogLevel level) const {
     return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Level check without the singleton call: one inlined relaxed load,
+  /// for the log macros on hot paths (a simulator run evaluates them
+  /// millions of times with logging off).  The mirror starts at the
+  /// default threshold and instance() syncs it from the environment, so
+  /// a raised DMR_LOG_LEVEL is honoured from construction on (only
+  /// pre-main logging could race it, and nothing logs before main).
+  static bool level_enabled(LogLevel level) {
+    return static_cast<int>(level) >=
+           current_level_.load(std::memory_order_relaxed);
   }
 
   /// Replace the output sink (default: stderr).  Used by tests to capture
@@ -57,6 +72,8 @@ class Logger {
   Logger();
   LogLevel level_;
   Sink sink_;
+  static inline std::atomic<int> current_level_{
+      static_cast<int>(LogLevel::Warn)};
 };
 
 namespace detail {
@@ -86,7 +103,7 @@ class LogLine {
 // Streaming log macros; the stream expression is not evaluated when the
 // level is disabled.
 #define DMR_LOG(level, subsystem)                                  \
-  if (!::dmr::util::Logger::instance().enabled(level)) {           \
+  if (!::dmr::util::Logger::level_enabled(level)) {                \
   } else                                                           \
     ::dmr::util::detail::LogLine(level, subsystem)
 

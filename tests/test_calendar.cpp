@@ -1,0 +1,190 @@
+// Calendar-queue engine tests: ordering contract, generation safety and
+// the golden outcome digests pinning the rewrite to the pre-change
+// (priority-queue) engine, bit for bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "engine_digests.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dmr::sim;
+
+// Golden outcome digests captured from the pre-calendar engine (the
+// std::priority_queue implementation) across four seeds and the three
+// drive paths.  The calendar rewrite must reproduce every one exactly —
+// a single changed timestamp, counter or sample line anywhere in a run
+// changes the FNV-1a value.
+struct GoldenDigest {
+  std::uint64_t seed;
+  std::uint64_t single_cluster;
+  std::uint64_t federation;
+  std::uint64_t service;
+};
+
+constexpr GoldenDigest kGoldens[] = {
+    {1ULL, 0x374f9dc3ac058befULL, 0x24c7dc104784bfb6ULL,
+     0xa4f80886c34a1411ULL},
+    {7ULL, 0xa1cd19c251cfe6e5ULL, 0x5334bdb3d8907c07ULL,
+     0x70743ba511a4e6a9ULL},
+    {42ULL, 0x957470ebdee4ce5aULL, 0x288dda3f3f3a6592ULL,
+     0x5ae78059d924d110ULL},
+    {2017ULL, 0x855160be6ef40875ULL, 0x3f5968af9121d2dbULL,
+     0x566e87c19281090aULL},
+};
+
+TEST(CalendarGolden, SingleClusterSeedSweep) {
+  for (const GoldenDigest& golden : kGoldens) {
+    EXPECT_EQ(dmr::digests::single_cluster_digest(golden.seed),
+              golden.single_cluster)
+        << "seed " << golden.seed;
+  }
+}
+
+TEST(CalendarGolden, FederationSeedSweep) {
+  for (const GoldenDigest& golden : kGoldens) {
+    EXPECT_EQ(dmr::digests::federation_digest(golden.seed), golden.federation)
+        << "seed " << golden.seed;
+  }
+}
+
+TEST(CalendarGolden, ServiceReplaySeedSweep) {
+  for (const GoldenDigest& golden : kGoldens) {
+    EXPECT_EQ(dmr::digests::service_digest(golden.seed), golden.service)
+        << "seed " << golden.seed;
+  }
+}
+
+// The engine's ordering contract: events fire in ascending (time, lane,
+// sequence) order no matter how the calendar buckets them.  Random
+// schedule/cancel interleavings — including schedules issued from inside
+// running callbacks — are checked against a reference sort of exactly
+// the surviving (time, lane, seq) keys.
+TEST(CalendarOrdering, RandomScheduleCancelMatchesReferenceSort) {
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    std::mt19937_64 rng(round * 7919 + 13);
+    Engine engine;
+    // key = (time, lane, issue index); issue index stands in for the
+    // engine's internal sequence number — both count schedule calls.
+    using Key = std::tuple<double, int, int>;
+    std::vector<Key> expected;
+    std::vector<Key> fired;
+    std::vector<EventId> ids;
+    std::vector<Key> keys;
+    int issued = 0;
+
+    // Time spans from "immediate" through several year re-anchors:
+    // exponents reach ~2^40 seconds, far beyond any initial ring span.
+    auto random_time = [&](double at_least) {
+      const double exponent = std::uniform_real_distribution<>(0.0, 40.0)(rng);
+      return at_least + std::exp2(exponent) - 1.0;
+    };
+    auto random_lane = [&] {
+      const int lane = std::uniform_int_distribution<>(0, 2)(rng);
+      return static_cast<Lane>(lane);
+    };
+    auto schedule_one = [&](double at_least) {
+      const double time = random_time(at_least);
+      const Lane lane = random_lane();
+      const Key key{time, static_cast<int>(lane), issued++};
+      const EventId id = engine.schedule_at(
+          time, [&fired, key] { fired.push_back(key); }, lane);
+      ids.push_back(id);
+      keys.push_back(key);
+    };
+
+    for (int i = 0; i < 400; ++i) schedule_one(0.0);
+    // A few events reschedule from inside the run (chained steps).
+    for (int i = 0; i < 30; ++i) {
+      const double time = random_time(0.0);
+      const Key key{time, static_cast<int>(Lane::Normal), issued++};
+      engine.schedule_at(time, [&, key] {
+        fired.push_back(key);
+        schedule_one(std::get<0>(key));
+      });
+      keys.push_back(key);
+      ids.push_back(kInvalidEvent);  // keep indices aligned; not cancellable
+    }
+    // Cancel a random third of the up-front events.
+    std::vector<bool> cancelled(keys.size(), false);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == kInvalidEvent) continue;
+      if (std::uniform_int_distribution<>(0, 2)(rng) == 0) {
+        EXPECT_TRUE(engine.cancel(ids[i]));
+        cancelled[i] = true;
+      }
+    }
+    engine.run();
+
+    for (std::size_t i = 0; i < cancelled.size(); ++i) {
+      if (!cancelled[i]) expected.push_back(keys[i]);
+    }
+    // The callbacks scheduled from inside the run appended their keys to
+    // `keys` past the pre-run window; none of those were cancellable.
+    for (std::size_t i = cancelled.size(); i < keys.size(); ++i) {
+      expected.push_back(keys[i]);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(fired, expected) << "round " << round;
+  }
+}
+
+// Far-future events force year re-anchoring (advance_year): the ring
+// only spans a finite window, so a horizon jump must re-bucket and keep
+// firing in order.
+TEST(CalendarOrdering, FarFutureYearAdvance) {
+  Engine engine;
+  std::vector<double> fired;
+  // Powers of ~1000 apart: every gap forces at least one re-anchor.
+  const double times[] = {1.0, 1e3, 1e6, 1e9, 1e12, 1e15};
+  for (const double t : times) {
+    engine.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  // Interleave near-term chatter so the first year is non-trivial.
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(0.5 + 0.001 * i, [] {});
+  }
+  engine.run();
+  ASSERT_EQ(fired.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_DOUBLE_EQ(engine.now(), 1e15);
+}
+
+// Generation safety: once a slot is reclaimed and reused, the stale
+// EventId (same slot, older generation) must not cancel the new tenant.
+TEST(CalendarSlots, StaleCancelAfterSlotReuseIsRejected) {
+  Engine engine;
+  bool first_fired = false;
+  const EventId first = engine.schedule_at(1.0, [&] { first_fired = true; });
+  ASSERT_TRUE(engine.cancel(first));  // slot goes back to the free list
+  bool second_fired = false;
+  const EventId second = engine.schedule_at(2.0, [&] { second_fired = true; });
+  // Slot reuse is what makes the test meaningful (LIFO free list).
+  ASSERT_EQ(first >> 32, second >> 32);
+  ASSERT_NE(first, second);  // generations differ
+  EXPECT_FALSE(engine.cancel(first));  // stale id: must not hit the slot
+  engine.run();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(CalendarSlots, CancelOfFiredEventNeverResurfaces) {
+  Engine engine;
+  int fires = 0;
+  const EventId id = engine.schedule_at(1.0, [&] { ++fires; });
+  engine.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(engine.cancel(id));
+  // Reuse the slot and make sure the old id still bounces.
+  const EventId next = engine.schedule_at(2.0, [] {});
+  EXPECT_FALSE(engine.cancel(id));
+  EXPECT_TRUE(engine.cancel(next));
+}
+
+}  // namespace

@@ -243,6 +243,76 @@ TEST(PeriodicTask, RejectsNonPositivePeriod) {
                std::invalid_argument);
 }
 
+// Regression: tick k must fire at first + k*period in closed form.  The
+// former `now + period` reschedule accumulated one rounding error per
+// tick — with the non-representable period 0.1, a million periods
+// drifted the clock visibly off k/10.
+TEST(PeriodicTask, NoDriftOverAMillionPeriods) {
+  Engine engine;
+  constexpr std::uint64_t kTicks = 1000000;
+  std::uint64_t fires = 0;
+  PeriodicTask task(engine, 0.1, [&] { return ++fires < kTicks; });
+  task.start(0.1);
+  engine.run();
+  EXPECT_EQ(fires, kTicks);
+  // The closed form lands within an ulp or two of k/10; the repeated
+  // `now + period` reschedule it replaced accumulated ~1e-6 of drift
+  // over this horizon — six orders of magnitude past this bound.
+  EXPECT_NEAR(engine.now(), static_cast<double>(kTicks) * 0.1, 1.0e-9);
+}
+
+// Eager reclamation: cancelling an event hands its slot back and, when
+// cancels outnumber live events, sweeps the never-reached calendar
+// entries too — queued() is exact and the footprint shrinks instead of
+// retaining every far-future corpse until its day is reached.
+TEST(EngineCancel, FarFutureCancelsReclaimEagerly) {
+  Engine engine;
+  constexpr int kEvents = 10000;
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(engine.schedule_at(1.0e9 + i, [] {}));
+  }
+  EXPECT_EQ(engine.queued(), static_cast<std::size_t>(kEvents));
+  EXPECT_GE(engine.queue_footprint(), static_cast<std::size_t>(kEvents));
+  for (const EventId id : ids) {
+    EXPECT_TRUE(engine.cancel(id));
+  }
+  EXPECT_EQ(engine.queued(), 0u);
+  // The stale-sweep bound: cancelled entries may linger only while they
+  // are outnumbered by live ones (here: none) or under the sweep floor.
+  EXPECT_LE(engine.queue_footprint(), 1024u);
+  // The freed slots are reused, not abandoned: new events recycle the
+  // same slot indices (id >> 32) instead of growing the table.
+  std::uint32_t max_slot = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const EventId id = engine.schedule_at(2.0e9 + i, [] {});
+    max_slot = std::max(max_slot, static_cast<std::uint32_t>(id >> 32));
+  }
+  EXPECT_LT(max_slot, static_cast<std::uint32_t>(kEvents + 1));
+  EXPECT_EQ(engine.queued(), static_cast<std::size_t>(kEvents));
+}
+
+// queued() counts live events only — a cancelled entry must disappear
+// from the count immediately, not at dispatch time.
+TEST(EngineCancel, QueuedCountsLiveEventsExactly) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(engine.schedule_at(10.0 + i, [] {}));
+  }
+  EXPECT_EQ(engine.queued(), 5u);
+  EXPECT_TRUE(engine.cancel(ids[1]));
+  EXPECT_TRUE(engine.cancel(ids[3]));
+  EXPECT_EQ(engine.queued(), 3u);
+  std::size_t fired = 0;
+  engine.schedule_at(100.0, [&] { fired = engine.executed(); });
+  EXPECT_EQ(engine.queued(), 4u);
+  engine.run();
+  EXPECT_EQ(engine.queued(), 0u);
+  EXPECT_EQ(fired, 4u);  // 3 surviving + the probe itself
+}
+
 TEST(Trace, RecordsSeriesAgainstEngineClock) {
   Engine engine;
   TraceRecorder trace(engine);

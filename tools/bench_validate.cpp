@@ -12,10 +12,19 @@
 //
 // Usage:  bench_validate FILE.json [FILE.json ...]
 //         bench_validate --dir DIR     validate every BENCH_*.json in DIR
+//         bench_validate --regress FILE.json
 //
 // Exit status 0 iff every row of every file passes; a --dir with no
 // BENCH_*.json files is an error (a vacuous pass would hide a renamed
 // trajectory).  Wired as the bench_validate ctest and a CI step.
+//
+// --regress is the throughput-regression guard: it compares the file's
+// freshest row (the last line, i.e. the row the CI run just appended)
+// against the best prior row for the same "workload", and warns when
+// events_per_second dropped by more than 15%.  Warn-only by design —
+// shared-runner noise would make a hard gate flaky — so the exit status
+// stays 0 and CI uploads the report as an artifact next to the
+// provenance gate.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -89,9 +98,94 @@ int validate_file(const std::string& path) {
   return bad;
 }
 
+/// Throughput-regression report for the freshest row of one trajectory.
+/// Returns 1 only on structural failure (unreadable file, no usable
+/// rows); a regression itself is reported but never fails the run.
+int report_regression(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("%s: error: unreadable\n", path.c_str());
+    return 1;
+  }
+  struct Row {
+    std::string workload;
+    double events_per_second = 0.0;
+    std::string git_sha;
+    std::string timestamp;
+  };
+  std::vector<Row> rows;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    dmr::obs::JsonValue value;
+    std::string error;
+    if (!dmr::obs::parse_json(line, value, error)) {
+      std::printf("%s:%d: error: %s\n", path.c_str(), line_no, error.c_str());
+      return 1;
+    }
+    const dmr::obs::JsonValue* workload = value.field("workload");
+    const dmr::obs::JsonValue* rate = value.field("events_per_second");
+    if (workload == nullptr ||
+        workload->kind != dmr::obs::JsonValue::Kind::String ||
+        rate == nullptr || rate->kind != dmr::obs::JsonValue::Kind::Number) {
+      continue;  // not a throughput row (other BENCH files ride along)
+    }
+    Row row;
+    row.workload = workload->text;
+    row.events_per_second = rate->number;
+    if (const auto* sha = value.field("git_sha")) row.git_sha = sha->text;
+    if (const auto* ts = value.field("timestamp")) row.timestamp = ts->text;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    std::printf("%s: error: no throughput rows to compare\n", path.c_str());
+    return 1;
+  }
+  const Row& fresh = rows.back();
+  const Row* best = nullptr;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i].workload != fresh.workload) continue;
+    if (best == nullptr || rows[i].events_per_second > best->events_per_second)
+      best = &rows[i];
+  }
+  if (best == nullptr) {
+    std::printf("%s: workload \"%s\": %.0f events/s — no prior row, "
+                "baseline established\n",
+                path.c_str(), fresh.workload.c_str(),
+                fresh.events_per_second);
+    return 0;
+  }
+  const double change =
+      (fresh.events_per_second - best->events_per_second) /
+      best->events_per_second * 100.0;
+  const bool regressed = change < -15.0;
+  std::printf("%s: workload \"%s\": fresh %.0f events/s (%s %s) vs best "
+              "prior %.0f events/s (%s %s): %+.1f%%\n",
+              path.c_str(), fresh.workload.c_str(), fresh.events_per_second,
+              fresh.git_sha.c_str(), fresh.timestamp.c_str(),
+              best->events_per_second, best->git_sha.c_str(),
+              best->timestamp.c_str(), change);
+  if (regressed) {
+    std::printf("%s: WARNING: \"%s\" regressed more than 15%% against its "
+                "best recorded run — investigate before trusting new "
+                "rows\n",
+                path.c_str(), fresh.workload.c_str());
+  }
+  return 0;  // warn-only: shared-runner noise must not fail CI
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--regress") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --regress FILE.json\n", argv[0]);
+      return 2;
+    }
+    return report_regression(argv[2]);
+  }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
@@ -110,8 +204,9 @@ int main(int argc, char** argv) {
       }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s FILE.json ...\n       %s --dir DIR\n", argv[0],
-                   argv[0]);
+                   "usage: %s FILE.json ...\n       %s --dir DIR\n"
+                   "       %s --regress FILE.json\n",
+                   argv[0], argv[0], argv[0]);
       return 2;
     } else {
       files.emplace_back(argv[i]);
